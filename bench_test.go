@@ -1,0 +1,132 @@
+// Package autosec's root benchmark harness: one benchmark per paper
+// artefact (every figure and table), as indexed in DESIGN.md. Each
+// benchmark regenerates the corresponding experiment end-to-end, so
+// `go test -bench=. -benchmem` both re-produces the paper's results and
+// reports the cost of doing so. The per-iteration output is recorded in
+// EXPERIMENTS.md; use `cmd/avsec run <id>` to see any report.
+package autosec
+
+import (
+	"testing"
+
+	"autosec/internal/core"
+	"autosec/internal/ivn"
+	"autosec/internal/sim"
+	"autosec/internal/uwb"
+	"autosec/internal/vcrypto"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := core.RunExperiment(id, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// --- paper artefacts ---
+
+func BenchmarkFig1LayeredModel(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig2UWBRanging(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3ZonalIVN(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkTable1ProtocolMatrix(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkFig4ScenarioS1(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5ScenarioS2(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig6ScenarioS3(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7SDVTrust(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8KillChain(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9MaaSSoS(b *testing.B)          { benchExperiment(b, "fig9") }
+
+func BenchmarkCollisionAvoidance(b *testing.B) { benchExperiment(b, "exp-ca") }
+func BenchmarkCollabPerception(b *testing.B)   { benchExperiment(b, "exp-collab") }
+func BenchmarkIntrusionDetection(b *testing.B) { benchExperiment(b, "exp-ids") }
+func BenchmarkAccessControl(b *testing.B)      { benchExperiment(b, "exp-access") }
+func BenchmarkPTPSec(b *testing.B)             { benchExperiment(b, "exp-ptp") }
+func BenchmarkV2XPseudonyms(b *testing.B)      { benchExperiment(b, "exp-v2x") }
+func BenchmarkOTAPipeline(b *testing.B)        { benchExperiment(b, "exp-ota") }
+func BenchmarkTARAWorksheet(b *testing.B)      { benchExperiment(b, "exp-tara") }
+func BenchmarkFullVehicle(b *testing.B)        { benchExperiment(b, "exp-vehicle") }
+func BenchmarkZCCompromise(b *testing.B)       { benchExperiment(b, "exp-zc") }
+func BenchmarkStealthExfil(b *testing.B)       { benchExperiment(b, "exp-stealth") }
+
+// --- ablations (DESIGN.md §4) ---
+
+func BenchmarkAblationMACTruncation(b *testing.B)   { benchExperiment(b, "ablate-mac") }
+func BenchmarkAblationFreshnessWindow(b *testing.B) { benchExperiment(b, "ablate-fv") }
+func BenchmarkAblationSTSLength(b *testing.B)       { benchExperiment(b, "ablate-sts") }
+func BenchmarkAblationCANALSegment(b *testing.B)    { benchExperiment(b, "ablate-canal") }
+func BenchmarkAblationRedundancy(b *testing.B)      { benchExperiment(b, "ablate-k") }
+func BenchmarkAblationIDSThreshold(b *testing.B)    { benchExperiment(b, "ablate-ids") }
+func BenchmarkAblationScaling(b *testing.B)         { benchExperiment(b, "ablate-scale") }
+
+// --- substrate micro-benchmarks (hot paths) ---
+
+func BenchmarkCMAC64B(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	msg := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if _, err := vcrypto.CMAC(key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGCMSeal1KiB(b *testing.B) {
+	key := vcrypto.DeriveKey([]byte("0123456789abcdef"), "bench", "gcm", 16)
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := vcrypto.GCMSeal(key, 1, uint32(i)+1, nil, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUWBCorrelate256(b *testing.B) {
+	rng := sim.NewRNG(1)
+	sts, err := uwb.NewSTS([]byte("0123456789abcdef"), 1, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := uwb.Channel{DistanceM: 60, NoiseStd: 0.2}
+	rx := ch.Propagate(sts.Waveform(), ch.DelaySamples()+len(sts.Waveform())+512, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if corr := uwb.Correlate(rx, sts); len(corr) == 0 {
+			b.Fatal("empty correlation")
+		}
+	}
+}
+
+func BenchmarkSecureToA(b *testing.B) {
+	rng := sim.NewRNG(1)
+	sess := uwb.Session{
+		Key: []byte("0123456789abcdef"), Session: 1, Pulses: 256,
+		Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+		Secure:  true, Config: uwb.DefaultSecureConfig(),
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Measure(nil, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIVNScenarioS1Throughput(b *testing.B) {
+	cfg := ivn.Config{Seed: 1, Messages: 100, PeriodUs: 500, PayloadBytes: 4}
+	for i := 0; i < b.N; i++ {
+		res, err := ivn.RunS1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered != 100 {
+			b.Fatalf("delivered %d", res.Delivered)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command avsec is the umbrella experiment runner: it regenerates any
+// figure or table of the paper from the autosec simulations.
+//
+// Usage:
+//
+//	avsec list                 # show all experiments
+//	avsec run <id> [-seed N]   # run one experiment (e.g. fig8)
+//	avsec all [-seed N]        # run everything in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autosec/internal/core"
+	"autosec/internal/sos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-13s %-10s %s\n", e.ID, e.Source, e.Title)
+		}
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "deterministic simulation seed")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "avsec run: need exactly one experiment id (try 'avsec list')")
+			os.Exit(2)
+		}
+		out, err := core.RunExperiment(fs.Arg(0), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsec:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	case "dot":
+		// Emit the Fig. 9 system-of-systems model as Graphviz for
+		// rendering: avsec dot | dot -Tsvg > fig9.svg
+		m, err := sos.BuildMaaS()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsec:", err)
+			os.Exit(1)
+		}
+		fmt.Print(m.DOT())
+	case "all":
+		fs := flag.NewFlagSet("all", flag.ExitOnError)
+		seed := fs.Int64("seed", 42, "deterministic simulation seed")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		for _, e := range core.Experiments() {
+			fmt.Printf("═══ %s (%s) — %s ═══\n", e.ID, e.Source, e.Title)
+			out, err := e.Run(*seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "avsec:", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  avsec list                 list experiments
+  avsec run <id> [-seed N]   run one experiment
+  avsec all [-seed N]        run every experiment
+  avsec dot                  emit the Fig. 9 model as Graphviz`)
+}

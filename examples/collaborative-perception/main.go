@@ -1,0 +1,86 @@
+// collaborative-perception demonstrates §VII: four vehicles share object
+// lists to jointly see a pedestrian; an external attacker injects a
+// ghost (stopped by channel authentication); an insider with valid
+// credentials fabricates one (stopped only by redundancy checking and,
+// over time, by trust tracking).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autosec/internal/collab"
+	"autosec/internal/sim"
+	"autosec/internal/world"
+)
+
+func main() {
+	rng := sim.NewRNG(7)
+
+	build := func() (*world.World, map[string]*collab.Participant) {
+		w := world.New()
+		members := map[string]*collab.Participant{}
+		for i, x := range []float64{0, 20, 40, 60} {
+			id := fmt.Sprintf("av-%d", i+1)
+			if err := w.Add(&world.Actor{ID: id, Pos: world.Vec2{X: x}, Radius: 1}); err != nil {
+				log.Fatal(err)
+			}
+			members[id] = &collab.Participant{ID: id, SensorRange: 50, NoiseStd: 0.1}
+		}
+		if err := w.Add(&world.Actor{ID: "pedestrian", Pos: world.Vec2{X: 30, Y: 4}, Radius: 0.4}); err != nil {
+			log.Fatal(err)
+		}
+		return w, members
+	}
+	share := func(w *world.World, members map[string]*collab.Participant) []collab.Message {
+		var msgs []collab.Message
+		for i := 1; i <= 4; i++ {
+			msgs = append(msgs, members[fmt.Sprintf("av-%d", i)].Share(w, rng))
+		}
+		return msgs
+	}
+
+	// Round 1: benign.
+	w, members := build()
+	out := collab.Fuse(w, share(w, members), members, collab.FusionConfig{RequireAuth: true, RedundancyK: 2})
+	fmt.Printf("benign round: %d real objects fused (pedestrian seen by %d vehicles), %d fakes\n",
+		out.RealCount, out.Accepted[0].Support, out.FakeCount)
+
+	// Round 2: external injection.
+	msgs := share(w, members)
+	msgs = append(msgs, collab.Message{Sender: "roadside-rogue", Authenticated: false,
+		Claims: []collab.Claim{{Sender: "roadside-rogue", Pos: world.Vec2{X: 25}}}})
+	open := collab.Fuse(w, msgs, members, collab.FusionConfig{})
+	auth := collab.Fuse(w, msgs, members, collab.FusionConfig{RequireAuth: true})
+	fmt.Printf("external injection: open channel accepts %d fakes; authenticated channel accepts %d\n",
+		open.FakeCount, auth.FakeCount)
+
+	// Round 3: insider fabrication.
+	fake := world.Vec2{X: 35}
+	members["av-2"].Fabricate = &fake
+	msgs = share(w, members)
+	authOnly := collab.Fuse(w, msgs, members, collab.FusionConfig{RequireAuth: true})
+	redundant := collab.Fuse(w, msgs, members, collab.FusionConfig{RequireAuth: true, RedundancyK: 2})
+	fmt.Printf("insider fabrication: auth-only accepts %d fakes; redundancy-2 accepts %d\n",
+		authOnly.FakeCount, redundant.FakeCount)
+
+	// Trust tracking converges on the insider.
+	tracker := collab.NewTrustTracker()
+	rounds := 0
+	for !tracker.Excluded("av-2") && rounds < 50 {
+		tracker.Observe(w, share(w, members), members, collab.FusionConfig{RedundancyK: 2})
+		rounds++
+	}
+	fmt.Printf("trust tracking excludes av-2 after %d rounds (score %.2f)\n\n", rounds, tracker.Score("av-2"))
+
+	// The competition story (§VII-A).
+	fmt.Println("intersection with 30 vehicles:")
+	for _, p := range []collab.Policy{collab.Cooperative, collab.SelfInterested, collab.Regulated} {
+		res, err := collab.RunIntersection(collab.DefaultIntersection(p, 30), rng.Fork())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s crossed=%d collisions=%d ticks=%d mean-wait=%.1f\n",
+			p, res.Crossed, res.Collisions, res.Ticks, res.MeanWait)
+	}
+}

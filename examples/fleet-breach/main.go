@@ -1,0 +1,38 @@
+// fleet-breach recreates the §V incident end-to-end: a synthetic fleet
+// telemetry cloud with the real misconfiguration classes, the Fig. 8
+// kill chain run against it, and then the same attack against each
+// hardening measure — showing that any single broken link stops the
+// breach, and data minimization bounds the damage even when it happens.
+package main
+
+import (
+	"fmt"
+
+	"autosec/internal/killchain"
+	"autosec/internal/sim"
+	"autosec/internal/telemetry"
+)
+
+func main() {
+	rng := sim.NewRNG(2024)
+
+	fmt.Println("=== the incident configuration ===")
+	cloud := telemetry.NewCloud(telemetry.WorstCase(), 800, 60, rng.Fork())
+	fmt.Printf("fleet: %d vehicles, %d geolocation records\n\n", cloud.Fleet(), cloud.TotalRecords())
+	report := killchain.Run(cloud)
+	fmt.Print(report)
+
+	fmt.Println("\n=== one defence at a time ===")
+	for _, d := range killchain.Defences() {
+		c := telemetry.NewCloud(killchain.Apply(d), 800, 60, rng.Fork())
+		r := killchain.Run(c)
+		outcome := fmt.Sprintf("chain broken at %q", r.Stages[len(r.Stages)-1].Stage)
+		if r.Breached {
+			outcome = fmt.Sprintf("still breached — %d records at %.0f m precision", r.RecordsExfiltrated, r.PrecisionM)
+		}
+		fmt.Printf("  %-22s → %s\n", d, outcome)
+	}
+
+	fmt.Println("\ntakeaway (§V-B): every link was individually mundane; any one fix stops the chain,")
+	fmt.Println("and data minimization is the only measure that helps after all else fails.")
+}

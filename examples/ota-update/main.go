@@ -1,0 +1,73 @@
+// ota-update walks an ECU through the §IV-A update lifecycle: a
+// legitimate release, a forged one, a corrupted download, a signed
+// downgrade to a vulnerable version, and a release that fails its boot
+// health check — showing which layer of the pipeline stops each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autosec/internal/ota"
+)
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func main() {
+	vendor, err := ota.NewSigner(seed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := ota.NewSigner(seed(66))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	factoryImg := []byte("brake-ctrl firmware 1.0")
+	dev, err := ota.NewDevice("brake-ctrl", vendor.PublicKey(),
+		vendor.Release("brake-ctrl", "1.0", 1, factoryImg), factoryImg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device provisioned, running %s\n\n", dev.ActiveVersion())
+
+	step := func(name string, m *ota.Manifest, img []byte, healthy bool) {
+		err := dev.Install(m, img)
+		if err != nil {
+			fmt.Printf("%-34s rejected at install: %v\n", name, err)
+			return
+		}
+		dev.Boot(func([]byte) bool { return healthy })
+		fmt.Printf("%-34s installed; running %s\n", name, dev.ActiveVersion())
+	}
+
+	img2 := []byte("brake-ctrl firmware 2.0")
+	step("vendor release 2.0", vendor.Release("brake-ctrl", "2.0", 2, img2), img2, true)
+
+	malware := []byte("totally legitimate firmware")
+	step("attacker-signed 6.6", attacker.Release("brake-ctrl", "6.6", 99, malware), malware, true)
+
+	corrupt := append([]byte(nil), img2...)
+	corrupt[5] ^= 0xFF
+	step("corrupted download of 2.1", vendor.Release("brake-ctrl", "2.1", 3, img2), corrupt, true)
+
+	oldImg := []byte("brake-ctrl firmware 1.5")
+	step("signed downgrade to 1.5", vendor.Release("brake-ctrl", "1.5", 1, oldImg), oldImg, true)
+
+	loopImg := []byte("brake-ctrl firmware 3.0 (bootloops)")
+	step("release 3.0 that fails health", vendor.Release("brake-ctrl", "3.0", 4, loopImg), loopImg, false)
+
+	fixedImg := []byte("brake-ctrl firmware 3.1")
+	step("fixed release 3.1", vendor.Release("brake-ctrl", "3.1", 5, fixedImg), fixedImg, true)
+
+	fmt.Println("\ndevice audit log:")
+	for _, l := range dev.Log {
+		fmt.Println(" ", l)
+	}
+}

@@ -1,0 +1,143 @@
+// Package accesscontrol implements the controlled-access mechanism the
+// paper's §VIII calls for — "data owners retain the rights to grant or
+// restrict access" across "ecosystems involving multiple owners and
+// stakeholders" — following the SeeMQTT design it cites (ref [54]):
+// the data key is split with Shamir secret sharing among independent
+// keyholders, each of which releases its share only if the owner's
+// policy authorizes the requester. No keyholder alone (nor any
+// coalition below the threshold) learns anything about the key.
+package accesscontrol
+
+import (
+	"fmt"
+
+	"autosec/internal/sim"
+)
+
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11B),
+// using log/exp tables built from generator 3.
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 3 = x ^ (x<<1 mod poly)
+		y := x << 1
+		if x&0x80 != 0 {
+			y ^= 0x1B
+		}
+		x ^= y
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("accesscontrol: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// Share is one Shamir share of a secret: an x coordinate and one y byte
+// per secret byte.
+type Share struct {
+	X byte
+	Y []byte
+}
+
+// Split shares secret into n shares with reconstruction threshold t.
+// It evaluates a fresh random polynomial of degree t−1 per secret byte.
+func Split(secret []byte, n, t int, rng *sim.RNG) ([]Share, error) {
+	if t < 2 || t > n || n > 255 {
+		return nil, fmt.Errorf("accesscontrol: invalid threshold %d of %d", t, n)
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("accesscontrol: empty secret")
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Y: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, t)
+	for byteIdx, s := range secret {
+		coeffs[0] = s
+		for j := 1; j < t; j++ {
+			coeffs[j] = byte(rng.Uint64())
+		}
+		// The top coefficient must be non-zero for true degree t−1;
+		// a zero top coefficient would silently lower the threshold.
+		for coeffs[t-1] == 0 {
+			coeffs[t-1] = byte(rng.Uint64())
+		}
+		for i := range shares {
+			x := shares[i].X
+			// Horner evaluation.
+			y := coeffs[t-1]
+			for j := t - 2; j >= 0; j-- {
+				y = gfMul(y, x) ^ coeffs[j]
+			}
+			shares[i].Y[byteIdx] = y
+		}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from at least t distinct shares via
+// Lagrange interpolation at x=0. Fewer than t shares (or duplicates)
+// fail; t wrong shares yield garbage, not an error — verify the result
+// at a higher layer (e.g. by decrypting with it).
+func Combine(shares []Share) ([]byte, error) {
+	if len(shares) < 2 {
+		return nil, fmt.Errorf("accesscontrol: need at least 2 shares")
+	}
+	seen := map[byte]bool{}
+	length := len(shares[0].Y)
+	for _, s := range shares {
+		if s.X == 0 {
+			return nil, fmt.Errorf("accesscontrol: share with x=0")
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("accesscontrol: duplicate share x=%d", s.X)
+		}
+		seen[s.X] = true
+		if len(s.Y) != length {
+			return nil, fmt.Errorf("accesscontrol: inconsistent share lengths")
+		}
+	}
+	secret := make([]byte, length)
+	for byteIdx := 0; byteIdx < length; byteIdx++ {
+		var acc byte
+		for i, si := range shares {
+			// Lagrange basis at x=0: Π_{j≠i} x_j / (x_j − x_i); in
+			// GF(2^8) subtraction is XOR, so x_j − x_i = x_j ^ x_i.
+			num, den := byte(1), byte(1)
+			for j, sj := range shares {
+				if i == j {
+					continue
+				}
+				num = gfMul(num, sj.X)
+				den = gfMul(den, sj.X^si.X)
+			}
+			acc ^= gfMul(si.Y[byteIdx], gfDiv(num, den))
+		}
+		secret[byteIdx] = acc
+	}
+	return secret, nil
+}

@@ -1,0 +1,184 @@
+// Package canal implements the CAN Adaptation Layer of the paper's
+// scenario S3 (Fig. 6): inspired by the ATM Adaptation Layer, it
+// segments Ethernet frames (including MACsec-protected ones and MKA key
+// agreement PDUs) into CAN XL frames and reassembles them at the far
+// end, so end-to-end Ethernet-layer security can reach endpoints that
+// sit on a CAN bus. With CAN XL's 2048-byte payloads most automotive
+// Ethernet frames fit in a single segment; classic CAN/FD would need
+// many.
+package canal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"autosec/internal/canbus"
+	"autosec/internal/ethernet"
+)
+
+// segment header: streamID(2) frameSeq(2) segIndex(1) flags(1) totalLen(2)
+const headerLen = 8
+
+const flagLast = 0x01
+
+// Adapter segments and reassembles Ethernet frames over CAN frames of a
+// chosen format. One Adapter per endpoint per direction-pair.
+type Adapter struct {
+	// StreamID distinguishes tunnels sharing a bus.
+	StreamID uint16
+	// Format is the CAN generation used for segments (XL recommended).
+	Format canbus.Format
+	// PriorityID is the CAN identifier used for segment frames.
+	PriorityID uint32
+	// MaxSegmentPayload optionally lowers the per-frame payload (for
+	// ablation studies); 0 means the format's maximum.
+	MaxSegmentPayload int
+
+	frameSeq   uint16
+	reassembly map[uint16]*partial // keyed by frame sequence
+}
+
+type partial struct {
+	segments map[int][]byte
+	total    int
+	haveLast bool
+	lastIdx  int
+}
+
+// NewAdapter returns an adapter tunnelling over the given CAN format.
+func NewAdapter(streamID uint16, format canbus.Format, priorityID uint32) *Adapter {
+	return &Adapter{
+		StreamID:   streamID,
+		Format:     format,
+		PriorityID: priorityID,
+		reassembly: make(map[uint16]*partial),
+	}
+}
+
+// segmentPayload returns the usable payload bytes per CAN frame.
+func (a *Adapter) segmentPayload() (int, error) {
+	max := a.Format.MaxPayload() - headerLen
+	if a.MaxSegmentPayload > 0 && a.MaxSegmentPayload < max {
+		max = a.MaxSegmentPayload
+	}
+	if max <= 0 {
+		return 0, fmt.Errorf("canal: %v payload too small for segment header", a.Format)
+	}
+	return max, nil
+}
+
+// Segment splits an Ethernet frame into CAN frames ready for the bus.
+func (a *Adapter) Segment(ef *ethernet.Frame) ([]*canbus.Frame, error) {
+	if err := ef.Validate(); err != nil {
+		return nil, err
+	}
+	chunk, err := a.segmentPayload()
+	if err != nil {
+		return nil, err
+	}
+	data := ef.Marshal()
+	if len(data) > 0xFFFF {
+		return nil, fmt.Errorf("canal: frame too large: %d", len(data))
+	}
+	a.frameSeq++
+	seq := a.frameSeq
+
+	var out []*canbus.Frame
+	for idx, off := 0, 0; off < len(data); idx, off = idx+1, off+chunk {
+		if idx > 0xFF {
+			return nil, fmt.Errorf("canal: frame needs more than 256 segments")
+		}
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		hdr := make([]byte, headerLen)
+		binary.BigEndian.PutUint16(hdr[0:2], a.StreamID)
+		binary.BigEndian.PutUint16(hdr[2:4], seq)
+		hdr[4] = byte(idx)
+		if end == len(data) {
+			hdr[5] |= flagLast
+		}
+		binary.BigEndian.PutUint16(hdr[6:8], uint16(len(data)))
+		f := &canbus.Frame{
+			ID:      a.PriorityID,
+			Format:  a.Format,
+			SDUType: canbus.SDUEthernet,
+			Payload: append(hdr, data[off:end]...),
+		}
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Accept feeds one received CAN frame into reassembly. It returns the
+// completed Ethernet frame when the last missing segment arrives, or
+// nil if more segments are needed. Frames for other streams return nil
+// without error (another adapter owns them).
+func (a *Adapter) Accept(cf *canbus.Frame) (*ethernet.Frame, error) {
+	if cf.SDUType != canbus.SDUEthernet {
+		return nil, nil
+	}
+	if len(cf.Payload) < headerLen {
+		return nil, fmt.Errorf("canal: segment shorter than header")
+	}
+	stream := binary.BigEndian.Uint16(cf.Payload[0:2])
+	if stream != a.StreamID {
+		return nil, nil
+	}
+	seq := binary.BigEndian.Uint16(cf.Payload[2:4])
+	idx := int(cf.Payload[4])
+	last := cf.Payload[5]&flagLast != 0
+	total := int(binary.BigEndian.Uint16(cf.Payload[6:8]))
+	body := cf.Payload[headerLen:]
+
+	p, ok := a.reassembly[seq]
+	if !ok {
+		p = &partial{segments: make(map[int][]byte), total: total}
+		a.reassembly[seq] = p
+	}
+	if p.total != total {
+		delete(a.reassembly, seq)
+		return nil, fmt.Errorf("canal: inconsistent total length in stream %d seq %d", stream, seq)
+	}
+	p.segments[idx] = append([]byte(nil), body...)
+	if last {
+		p.haveLast = true
+		p.lastIdx = idx
+	}
+	if !p.haveLast {
+		return nil, nil
+	}
+	// Try assembly: all indices 0..lastIdx present.
+	var buf []byte
+	for i := 0; i <= p.lastIdx; i++ {
+		seg, ok := p.segments[i]
+		if !ok {
+			return nil, nil // still missing a middle segment
+		}
+		buf = append(buf, seg...)
+	}
+	delete(a.reassembly, seq)
+	if len(buf) != p.total {
+		return nil, fmt.Errorf("canal: reassembled %d bytes, header said %d", len(buf), p.total)
+	}
+	return ethernet.Unmarshal(buf)
+}
+
+// Pending reports how many frames are partially reassembled (leak and
+// loss diagnostics).
+func (a *Adapter) Pending() int { return len(a.reassembly) }
+
+// SegmentOverheadBytes reports the tunnel overhead for a frame of the
+// given marshalled size: header bytes per segment.
+func (a *Adapter) SegmentOverheadBytes(frameBytes int) (int, error) {
+	chunk, err := a.segmentPayload()
+	if err != nil {
+		return 0, err
+	}
+	nSegs := (frameBytes + chunk - 1) / chunk
+	return nSegs * headerLen, nil
+}

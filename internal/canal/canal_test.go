@@ -1,0 +1,250 @@
+package canal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/canbus"
+	"autosec/internal/ethernet"
+)
+
+func ethFrame(n int) *ethernet.Frame {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return &ethernet.Frame{
+		Dst: ethernet.MAC{2, 0, 0, 0, 0, 1}, Src: ethernet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: ethernet.EtherTypeApp, Payload: payload,
+	}
+}
+
+func TestSingleSegmentOverXL(t *testing.T) {
+	tx := NewAdapter(1, canbus.XL, 0x200)
+	rx := NewAdapter(1, canbus.XL, 0x200)
+	segs, err := tx.Segment(ethFrame(1400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("1400-byte frame needed %d XL segments, want 1", len(segs))
+	}
+	got, err := rx.Accept(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !bytes.Equal(got.Payload, ethFrame(1400).Payload) {
+		t.Error("reassembly mismatch")
+	}
+}
+
+func TestMultiSegmentOverFD(t *testing.T) {
+	tx := NewAdapter(1, canbus.FD, 0x200)
+	rx := NewAdapter(1, canbus.FD, 0x200)
+	orig := ethFrame(500)
+	segs, err := tx.Segment(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 9 { // (500+16)/56
+		t.Fatalf("only %d FD segments", len(segs))
+	}
+	var got *ethernet.Frame
+	for _, s := range segs {
+		f, err := rx.Accept(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != nil {
+			got = f
+		}
+	}
+	if got == nil {
+		t.Fatal("frame never completed")
+	}
+	if !bytes.Equal(got.Payload, orig.Payload) || got.EtherType != orig.EtherType || got.Dst != orig.Dst {
+		t.Error("reassembled frame differs")
+	}
+	if rx.Pending() != 0 {
+		t.Errorf("pending = %d after completion", rx.Pending())
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	tx := NewAdapter(1, canbus.FD, 0x200)
+	rx := NewAdapter(1, canbus.FD, 0x200)
+	segs, err := tx.Segment(ethFrame(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver in reverse.
+	var got *ethernet.Frame
+	for i := len(segs) - 1; i >= 0; i-- {
+		f, err := rx.Accept(segs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != nil {
+			got = f
+		}
+	}
+	if got == nil || !bytes.Equal(got.Payload, ethFrame(300).Payload) {
+		t.Error("out-of-order reassembly failed")
+	}
+}
+
+func TestMissingSegmentNeverCompletes(t *testing.T) {
+	tx := NewAdapter(1, canbus.FD, 0x200)
+	rx := NewAdapter(1, canbus.FD, 0x200)
+	segs, err := tx.Segment(ethFrame(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		if i == 2 {
+			continue // drop one middle segment
+		}
+		f, err := rx.Accept(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != nil {
+			t.Fatal("frame completed despite missing segment")
+		}
+	}
+	if rx.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", rx.Pending())
+	}
+}
+
+func TestForeignStreamIgnored(t *testing.T) {
+	tx := NewAdapter(1, canbus.XL, 0x200)
+	rx := NewAdapter(2, canbus.XL, 0x200)
+	segs, err := tx.Segment(ethFrame(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rx.Accept(segs[0])
+	if err != nil || f != nil {
+		t.Errorf("foreign stream: f=%v err=%v", f, err)
+	}
+	// Non-Ethernet SDU also ignored.
+	plain := &canbus.Frame{ID: 1, Format: canbus.XL, SDUType: canbus.SDUData, Payload: make([]byte, 32)}
+	f, err = rx.Accept(plain)
+	if err != nil || f != nil {
+		t.Errorf("plain SDU: f=%v err=%v", f, err)
+	}
+}
+
+func TestInterleavedFramesReassemble(t *testing.T) {
+	tx := NewAdapter(1, canbus.FD, 0x200)
+	rx := NewAdapter(1, canbus.FD, 0x200)
+	f1 := ethFrame(200)
+	f2 := ethFrame(250)
+	s1, err := tx.Segment(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tx.Segment(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []*ethernet.Frame
+	maxLen := len(s1)
+	if len(s2) > maxLen {
+		maxLen = len(s2)
+	}
+	for i := 0; i < maxLen; i++ {
+		for _, segs := range [][]*canbus.Frame{s1, s2} {
+			if i < len(segs) {
+				f, err := rx.Accept(segs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f != nil {
+					done = append(done, f)
+				}
+			}
+		}
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d frames, want 2", len(done))
+	}
+}
+
+func TestSegmentOversizeErrors(t *testing.T) {
+	tx := NewAdapter(1, canbus.XL, 0x200)
+	bad := ethFrame(ethernet.MaxPayload + 1)
+	if _, err := tx.Segment(bad); err == nil {
+		t.Error("oversize Ethernet frame accepted")
+	}
+}
+
+func TestAcceptMalformedSegment(t *testing.T) {
+	rx := NewAdapter(1, canbus.XL, 0x200)
+	short := &canbus.Frame{ID: 1, Format: canbus.XL, SDUType: canbus.SDUEthernet, Payload: []byte{1, 2}}
+	if _, err := rx.Accept(short); err == nil {
+		t.Error("short segment accepted")
+	}
+}
+
+func TestSegmentOverheadBytes(t *testing.T) {
+	a := NewAdapter(1, canbus.XL, 0x200)
+	oh, err := a.SegmentOverheadBytes(1516)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh != headerLen { // one segment
+		t.Errorf("overhead %d", oh)
+	}
+	fd := NewAdapter(1, canbus.FD, 0x200)
+	oh, err = fd.SegmentOverheadBytes(1516)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh < 27*headerLen {
+		t.Errorf("FD overhead %d too low", oh)
+	}
+}
+
+func TestMaxSegmentPayloadAblation(t *testing.T) {
+	a := NewAdapter(1, canbus.XL, 0x200)
+	a.MaxSegmentPayload = 64
+	segs, err := a.Segment(ethFrame(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 { // 216 marshalled bytes / 64
+		t.Errorf("%d segments with 64-byte chunks", len(segs))
+	}
+}
+
+func TestPropertyRoundTripAnyPayload(t *testing.T) {
+	tx := NewAdapter(3, canbus.FD, 0x100)
+	rx := NewAdapter(3, canbus.FD, 0x100)
+	f := func(payload []byte) bool {
+		if len(payload) > ethernet.MaxPayload {
+			payload = payload[:ethernet.MaxPayload]
+		}
+		orig := &ethernet.Frame{Dst: ethernet.MAC{1}, Src: ethernet.MAC{2}, EtherType: 0x9999, Payload: payload}
+		segs, err := tx.Segment(orig)
+		if err != nil {
+			return false
+		}
+		var got *ethernet.Frame
+		for _, s := range segs {
+			g, err := rx.Accept(s)
+			if err != nil {
+				return false
+			}
+			if g != nil {
+				got = g
+			}
+		}
+		return got != nil && bytes.Equal(got.Payload, payload) && got.EtherType == 0x9999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

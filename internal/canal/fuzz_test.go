@@ -1,0 +1,30 @@
+package canal
+
+import (
+	"testing"
+
+	"autosec/internal/canbus"
+	"autosec/internal/ethernet"
+)
+
+// FuzzAccept feeds arbitrary segment payloads into the reassembler: no
+// input may panic it or make it emit a frame that was never segmented.
+func FuzzAccept(f *testing.F) {
+	tx := NewAdapter(1, canbus.XL, 0x100)
+	segs, err := tx.Segment(&ethernet.Frame{
+		Dst: ethernet.MAC{1}, Src: ethernet.MAC{2},
+		EtherType: ethernet.EtherTypeApp, Payload: []byte("seed payload"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(segs[0].Payload)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0, flagLast, 0, 4, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rx := NewAdapter(1, canbus.XL, 0x100)
+		frame := &canbus.Frame{ID: 0x100, Format: canbus.XL, SDUType: canbus.SDUEthernet, Payload: payload}
+		// Must not panic; errors and nil results are both fine.
+		_, _ = rx.Accept(frame)
+	})
+}

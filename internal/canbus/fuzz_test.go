@@ -1,0 +1,29 @@
+package canbus
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the frame decoder against malformed inputs: it
+// must never panic, and anything it accepts must re-marshal to an
+// equivalent frame.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Frame{ID: 0x123, Format: Classic, Payload: []byte{1, 2, 3}}).Marshal())
+	f.Add((&Frame{ID: 0x1, Format: XL, SDUType: SDUEthernet, Payload: make([]byte, 100)}).Marshal())
+	f.Add([]byte{0, 0, 0, 1, 9, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		round, err := Unmarshal(fr.Marshal())
+		if err != nil {
+			t.Fatalf("accepted frame failed round trip: %v", err)
+		}
+		if round.ID != fr.ID || round.Format != fr.Format || !bytes.Equal(round.Payload, fr.Payload) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

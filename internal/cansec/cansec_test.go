@@ -1,0 +1,194 @@
+package cansec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/canbus"
+)
+
+var key = []byte("zone-key-16bytes")
+
+func zonePair(t *testing.T, mode Mode) (*Endpoint, *Endpoint) {
+	t.Helper()
+	z, err := NewZone(7, mode, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEndpoint(z, 1), NewEndpoint(z, 2)
+}
+
+func TestProtectVerifyAuthOnly(t *testing.T) {
+	a, b := zonePair(t, AuthOnly)
+	f, err := a.Protect(0x100, []byte("wheel speeds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != canbus.XL || f.SDUType != canbus.SDUCANsec {
+		t.Errorf("frame meta %+v", f)
+	}
+	if !bytes.Contains(f.Payload, []byte("wheel speeds")) {
+		t.Error("auth-only mode should not encrypt")
+	}
+	got, err := b.Verify(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "wheel speeds" {
+		t.Errorf("payload %q", got)
+	}
+}
+
+func TestProtectVerifyEncrypted(t *testing.T) {
+	a, b := zonePair(t, AuthEncrypt)
+	f, err := a.Protect(0x100, []byte("secret diagnostic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(f.Payload, []byte("secret")) {
+		t.Error("plaintext visible in encrypted mode")
+	}
+	got, err := b.Verify(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "secret diagnostic" {
+		t.Errorf("payload %q", got)
+	}
+}
+
+func TestVerifyRejectsReplay(t *testing.T) {
+	a, b := zonePair(t, AuthOnly)
+	f, err := a.Protect(0x100, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Verify(f); err == nil {
+		t.Error("replay accepted")
+	}
+}
+
+func TestVerifyRejectsTamper(t *testing.T) {
+	for _, mode := range []Mode{AuthOnly, AuthEncrypt} {
+		a, b := zonePair(t, mode)
+		f, err := a.Protect(0x100, []byte("brake"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Payload[headerLen] ^= 0x40
+		if _, err := b.Verify(f); err == nil {
+			t.Errorf("mode %v: tampered frame accepted", mode)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongZone(t *testing.T) {
+	a, _ := zonePair(t, AuthOnly)
+	z2, err := NewZone(8, AuthOnly, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewEndpoint(z2, 3)
+	f, err := a.Protect(0x100, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Verify(f); err == nil {
+		t.Error("cross-zone frame accepted")
+	}
+}
+
+func TestVerifyRejectsForgedKey(t *testing.T) {
+	_, b := zonePair(t, AuthOnly)
+	zAtt, err := NewZone(7, AuthOnly, []byte("attacker-key-16b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := NewEndpoint(zAtt, 1)
+	f, err := att.Protect(0x100, []byte("forged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Verify(f); err == nil {
+		t.Error("forged frame under wrong zone key accepted")
+	}
+}
+
+func TestPerSenderFreshnessSpaces(t *testing.T) {
+	z, err := NewZone(7, AuthOnly, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, rx := NewEndpoint(z, 1), NewEndpoint(z, 2), NewEndpoint(z, 3)
+	fa, err := a.Protect(0x100, []byte("from-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Protect(0x100, []byte("from-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both senders are at FV=1; the receiver must track them separately.
+	if _, err := rx.Verify(fa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Verify(fb); err != nil {
+		t.Errorf("second sender's FV=1 rejected: %v", err)
+	}
+}
+
+func TestWindowBoundsLoss(t *testing.T) {
+	a, b := zonePair(t, AuthOnly)
+	b.Window = 4
+	var f *canbus.Frame
+	var err error
+	for i := 0; i < 10; i++ {
+		f, err = a.Protect(0x100, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Verify(f); err == nil {
+		t.Error("frame beyond loss window accepted")
+	}
+}
+
+func TestVerifyRejectsNonCANsecSDU(t *testing.T) {
+	_, b := zonePair(t, AuthOnly)
+	f := &canbus.Frame{ID: 1, Format: canbus.XL, SDUType: canbus.SDUData, Payload: make([]byte, 64)}
+	if _, err := b.Verify(f); err == nil {
+		t.Error("plain SDU accepted")
+	}
+	short := &canbus.Frame{ID: 1, Format: canbus.XL, SDUType: canbus.SDUCANsec, Payload: make([]byte, 4)}
+	if _, err := b.Verify(short); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestNewZoneValidation(t *testing.T) {
+	if _, err := NewZone(1, AuthOnly, []byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	a, b := zonePair(t, AuthEncrypt)
+	f := func(payload []byte) bool {
+		if len(payload) > 2048-Overhead {
+			payload = payload[:2048-Overhead]
+		}
+		fr, err := a.Protect(0x200, payload)
+		if err != nil {
+			return false
+		}
+		got, err := b.Verify(fr)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

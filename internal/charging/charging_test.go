@@ -1,0 +1,265 @@
+package charging
+
+import (
+	"testing"
+
+	"autosec/internal/ssi"
+)
+
+func kp(t *testing.T, b byte) *ssi.KeyPair {
+	t.Helper()
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	k, err := ssi.GenerateKeyPair(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// --- PKI flow ---
+
+type pkiFixture struct {
+	root     *CA
+	emsp     *CA
+	carKey   *ssi.KeyPair
+	contract *Certificate
+	station  *Station
+}
+
+func buildPKI(t *testing.T) *pkiFixture {
+	t.Helper()
+	f := &pkiFixture{}
+	f.root = NewRootCA("v2g-root", kp(t, 1), 10000)
+	f.emsp = f.root.IssueSubCA("emsp-green", kp(t, 2), 8000)
+	f.carKey = kp(t, 3)
+	f.contract = f.emsp.IssueLeaf("contract-007", f.carKey, 5000)
+	f.station = &Station{
+		ID: "cp-1", Mode: PKIMode,
+		Roots: map[string]*Certificate{"v2g-root": f.root.Cert},
+	}
+	return f
+}
+
+func TestPKIAuthorizeSucceeds(t *testing.T) {
+	f := buildPKI(t)
+	req := &PKIRequest{Contract: f.contract, Intermediates: []*Certificate{f.emsp.Cert}, Key: f.carKey}
+	if err := f.station.AuthorizePKI(req, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKIRejectsUntrustedRoot(t *testing.T) {
+	f := buildPKI(t)
+	otherRoot := NewRootCA("rogue-root", kp(t, 9), 10000)
+	otherEMSP := otherRoot.IssueSubCA("rogue-emsp", kp(t, 10), 8000)
+	leaf := otherEMSP.IssueLeaf("contract-evil", f.carKey, 5000)
+	req := &PKIRequest{Contract: leaf, Intermediates: []*Certificate{otherEMSP.Cert}, Key: f.carKey}
+	if err := f.station.AuthorizePKI(req, 100); err == nil {
+		t.Error("chain to untrusted root accepted")
+	}
+}
+
+func TestPKIRejectsExpiredAndBrokenChain(t *testing.T) {
+	f := buildPKI(t)
+	req := &PKIRequest{Contract: f.contract, Intermediates: []*Certificate{f.emsp.Cert}, Key: f.carKey}
+	if err := f.station.AuthorizePKI(req, 5001); err == nil {
+		t.Error("expired contract accepted")
+	}
+	if err := f.station.AuthorizePKI(&PKIRequest{Contract: f.contract, Key: f.carKey}, 100); err == nil {
+		t.Error("chain without intermediate accepted")
+	}
+	// Tampered leaf.
+	bad := *f.contract
+	bad.Subject = "contract-stolen"
+	if err := f.station.AuthorizePKI(&PKIRequest{Contract: &bad, Intermediates: []*Certificate{f.emsp.Cert}, Key: f.carKey}, 100); err == nil {
+		t.Error("tampered certificate accepted")
+	}
+}
+
+func TestPKIRejectsStolenContractWithoutKey(t *testing.T) {
+	f := buildPKI(t)
+	thief := kp(t, 11)
+	req := &PKIRequest{Contract: f.contract, Intermediates: []*Certificate{f.emsp.Cert}, Key: thief}
+	if err := f.station.AuthorizePKI(req, 100); err == nil {
+		t.Error("possession check failed to catch a stolen certificate")
+	}
+}
+
+// --- SSI flow ---
+
+type ssiFixture struct {
+	emsp     *ssi.KeyPair
+	car      *ssi.KeyPair
+	reg      *ssi.Registry
+	verifier *ssi.Verifier
+	contract *ssi.Credential
+	station  *Station
+}
+
+func buildSSI(t *testing.T) *ssiFixture {
+	t.Helper()
+	f := &ssiFixture{emsp: kp(t, 1), car: kp(t, 2), reg: ssi.NewRegistry()}
+	for _, k := range []*ssi.KeyPair{f.emsp, f.car} {
+		if err := f.reg.Register(ssi.NewDocument(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trust := ssi.NewTrustRegistry()
+	trust.AddAnchor(ContractCredentialType, f.emsp.DID)
+	f.verifier = ssi.NewVerifier(f.reg, trust)
+	var err error
+	f.contract, err = ssi.Issue(f.emsp, &ssi.Credential{
+		ID: "contract-ssi-1", Type: ContractCredentialType,
+		Issuer: f.emsp.DID, Subject: f.car.DID,
+		Claims: map[string]string{"tariff": "green-night"}, IssuedAt: 0, ExpiresAt: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.station = &Station{ID: "cp-2", Mode: SSIMode, Verifier: f.verifier}
+	return f
+}
+
+func TestSSIAuthorizeAndReceipt(t *testing.T) {
+	f := buildSSI(t)
+	receipt, err := f.station.AuthorizeSSI(f.car, f.contract, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReceipt(receipt, f.reg); err != nil {
+		t.Fatal(err)
+	}
+	// Tampered receipt rejected.
+	receipt.EnergyKWh = 1.0
+	if err := VerifyReceipt(receipt, f.reg); err == nil {
+		t.Error("tampered receipt accepted")
+	}
+}
+
+func TestReceiptLedgerRejectsReplayAndForgery(t *testing.T) {
+	f := buildSSI(t)
+	ledger := NewReceiptLedger(f.reg)
+	r1, err := f.station.AuthorizeSSI(f.car, f.contract, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Settle(r1); err != nil {
+		t.Fatal(err)
+	}
+	if ledger.TotalKWh != 42.0 {
+		t.Errorf("billed %.1f kWh", ledger.TotalKWh)
+	}
+	// Replay of the same receipt: rejected, no double billing.
+	if err := ledger.Settle(r1); err == nil {
+		t.Error("duplicate receipt settled")
+	}
+	if ledger.TotalKWh != 42.0 {
+		t.Errorf("double-billed: %.1f kWh", ledger.TotalKWh)
+	}
+	// A new session settles fine.
+	r2, err := f.station.AuthorizeSSI(f.car, f.contract, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Settle(r2); err != nil {
+		t.Fatal(err)
+	}
+	if ledger.TotalKWh != 84.0 {
+		t.Errorf("billed %.1f kWh after two sessions", ledger.TotalKWh)
+	}
+	// Inflated receipt: signature breaks.
+	r2.EnergyKWh = 999
+	if err := ledger.Settle(r2); err == nil {
+		t.Error("tampered receipt settled")
+	}
+}
+
+func TestSSIRejectsUntrustedEMSP(t *testing.T) {
+	f := buildSSI(t)
+	rogue := kp(t, 9)
+	if err := f.reg.Register(ssi.NewDocument(rogue)); err != nil {
+		t.Fatal(err)
+	}
+	evil, err := ssi.Issue(rogue, &ssi.Credential{
+		ID: "evil", Type: ContractCredentialType,
+		Issuer: rogue.DID, Subject: f.car.DID,
+		Claims: map[string]string{}, IssuedAt: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.station.AuthorizeSSI(f.car, evil, 100); err == nil {
+		t.Error("contract from unanchored eMSP accepted")
+	}
+}
+
+func TestSSIRejectsStolenContract(t *testing.T) {
+	f := buildSSI(t)
+	thief := kp(t, 12)
+	if err := f.reg.Register(ssi.NewDocument(thief)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.station.AuthorizeSSI(thief, f.contract, 100); err == nil {
+		t.Error("thief charged on a stolen contract credential")
+	}
+}
+
+func TestSSIOfflineAuthorization(t *testing.T) {
+	f := buildSSI(t)
+	bundle, err := ssi.NewOfflineBundle(f.verifier, []*ssi.Credential{f.contract}, 100, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.station.Offline = bundle
+	if _, err := f.station.AuthorizeSSI(f.car, f.contract, 200); err != nil {
+		t.Fatalf("offline authorization failed: %v", err)
+	}
+	// Stale bundle fails closed.
+	if _, err := f.station.AuthorizeSSI(f.car, f.contract, 100+3601); err == nil {
+		t.Error("stale offline bundle accepted")
+	}
+}
+
+func TestSSIRevokedContractRejected(t *testing.T) {
+	f := buildSSI(t)
+	rl := ssi.NewRevocationList(f.emsp, 0)
+	if err := rl.Revoke(f.emsp, f.contract.ID, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.verifier.AddRevocationList(rl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.station.AuthorizeSSI(f.car, f.contract, 100); err == nil {
+		t.Error("revoked contract accepted")
+	}
+}
+
+func TestModeEnforcement(t *testing.T) {
+	f := buildSSI(t)
+	if err := f.station.AuthorizePKI(&PKIRequest{}, 1); err == nil {
+		t.Error("PKI request accepted by SSI station")
+	}
+	p := buildPKI(t)
+	if _, err := p.station.AuthorizeSSI(kp(t, 3), nil, 1); err == nil {
+		t.Error("SSI request accepted by PKI station")
+	}
+}
+
+func TestRoamingSetupScaling(t *testing.T) {
+	// The §IV-C interoperability claim: PKI roaming scales as a
+	// product, SSI as a sum.
+	if RoamingSetupSteps(PKIMode, 10, 8) != 80 {
+		t.Error("PKI roaming steps")
+	}
+	if RoamingSetupSteps(SSIMode, 10, 8) != 18 {
+		t.Error("SSI roaming steps")
+	}
+	for _, n := range []int{3, 5, 20} {
+		if RoamingSetupSteps(SSIMode, n, n) >= RoamingSetupSteps(PKIMode, n, n) {
+			t.Errorf("n=%d: SSI not cheaper", n)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package collab
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+	"autosec/internal/world"
+)
+
+// platoon builds 4 member vehicles around a pedestrian and a lead car.
+func platoon(t *testing.T) (*world.World, map[string]*Participant) {
+	t.Helper()
+	w := world.New()
+	members := map[string]*Participant{}
+	positions := []world.Vec2{{X: 0}, {X: 20}, {X: 40}, {X: 60}}
+	for i, pos := range positions {
+		id := string(rune('a' + i))
+		if err := w.Add(&world.Actor{ID: id, Pos: pos, Radius: 1}); err != nil {
+			t.Fatal(err)
+		}
+		members[id] = &Participant{ID: id, SensorRange: 50, NoiseStd: 0.1}
+	}
+	if err := w.Add(&world.Actor{ID: "ped", Pos: world.Vec2{X: 30, Y: 4}, Radius: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	return w, members
+}
+
+func sharesOf(w *world.World, members map[string]*Participant, rng *sim.RNG) []Message {
+	var msgs []Message
+	for _, id := range []string{"a", "b", "c", "d"} {
+		msgs = append(msgs, members[id].Share(w, rng))
+	}
+	return msgs
+}
+
+func TestBenignFusionSeesPedestrian(t *testing.T) {
+	w, members := platoon(t)
+	rng := sim.NewRNG(1)
+	out := Fuse(w, sharesOf(w, members, rng), members, FusionConfig{RequireAuth: true, RedundancyK: 2})
+	found := false
+	for _, ob := range out.Accepted {
+		if ob.TruthID == "ped" && ob.Support >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pedestrian not collaboratively perceived: %+v", out.Accepted)
+	}
+	if out.FakeCount != 0 {
+		t.Errorf("benign round accepted %d fakes", out.FakeCount)
+	}
+	if out.MissedReal != 0 {
+		t.Errorf("benign round missed %d real objects", out.MissedReal)
+	}
+}
+
+func TestExternalInjectionBlockedByAuth(t *testing.T) {
+	w, members := platoon(t)
+	rng := sim.NewRNG(2)
+	msgs := sharesOf(w, members, rng)
+	// External attacker injects a ghost without credentials.
+	msgs = append(msgs, Message{Sender: "ghost-station", Authenticated: false, Claims: []Claim{
+		{Sender: "ghost-station", Pos: world.Vec2{X: 30, Y: 0}},
+	}})
+	open := Fuse(w, msgs, members, FusionConfig{RequireAuth: false})
+	if open.FakeCount == 0 {
+		t.Error("open channel should accept the injected ghost")
+	}
+	authed := Fuse(w, msgs, members, FusionConfig{RequireAuth: true})
+	if authed.FakeCount != 0 {
+		t.Error("authenticated channel accepted an unauthenticated ghost")
+	}
+}
+
+func TestInsiderFabricationBeatsAuthButNotRedundancy(t *testing.T) {
+	w, members := platoon(t)
+	rng := sim.NewRNG(3)
+	fake := world.Vec2{X: 35, Y: 0}
+	members["b"].Fabricate = &fake // insider with valid credentials
+	msgs := sharesOf(w, members, rng)
+
+	authOnly := Fuse(w, msgs, members, FusionConfig{RequireAuth: true})
+	if authOnly.FakeCount == 0 {
+		t.Error("auth alone should NOT stop an insider (the §VII-B point)")
+	}
+	withRedundancy := Fuse(w, msgs, members, FusionConfig{RequireAuth: true, RedundancyK: 2})
+	if withRedundancy.FakeCount != 0 {
+		t.Error("redundancy-2 fusion accepted the insider's fabrication")
+	}
+	// The real pedestrian must survive redundancy filtering.
+	real := 0
+	for _, ob := range withRedundancy.Accepted {
+		if ob.TruthID == "ped" {
+			real++
+		}
+	}
+	if real == 0 {
+		t.Error("redundancy filtering dropped the real pedestrian")
+	}
+}
+
+func TestSuppressionDetectedByRedundancy(t *testing.T) {
+	w, members := platoon(t)
+	rng := sim.NewRNG(4)
+	members["b"].Suppress = "ped" // insider hides the pedestrian
+	msgs := sharesOf(w, members, rng)
+	out := Fuse(w, msgs, members, FusionConfig{RequireAuth: true, RedundancyK: 2})
+	// Other members still see the pedestrian: suppression by one
+	// insider cannot remove a redundantly-observed object.
+	found := false
+	for _, ob := range out.Accepted {
+		if ob.TruthID == "ped" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("single insider suppressed a redundantly-visible object")
+	}
+}
+
+func TestTrustTrackerConvergesOnFabricator(t *testing.T) {
+	w, members := platoon(t)
+	rng := sim.NewRNG(5)
+	fake := world.Vec2{X: 35, Y: 0}
+	members["b"].Fabricate = &fake
+	tracker := NewTrustTracker()
+	cfg := FusionConfig{RequireAuth: true, RedundancyK: 2}
+	for round := 0; round < 10; round++ {
+		tracker.Observe(w, sharesOf(w, members, rng), members, cfg)
+	}
+	if !tracker.Excluded("b") {
+		t.Errorf("fabricator trust %.2f, not excluded after 10 rounds", tracker.Score("b"))
+	}
+	for _, honest := range []string{"a", "c", "d"} {
+		if tracker.Excluded(honest) {
+			t.Errorf("honest member %s excluded (trust %.2f)", honest, tracker.Score(honest))
+		}
+	}
+}
+
+func TestTrustRecovery(t *testing.T) {
+	w, members := platoon(t)
+	rng := sim.NewRNG(6)
+	tracker := NewTrustTracker()
+	cfg := FusionConfig{RequireAuth: true, RedundancyK: 2}
+	// Honest rounds keep scores at 1.0.
+	for round := 0; round < 5; round++ {
+		tracker.Observe(w, sharesOf(w, members, rng), members, cfg)
+	}
+	if tracker.Score("a") < 1.0 {
+		t.Errorf("honest trust dropped to %.2f", tracker.Score("a"))
+	}
+}
+
+// --- intersection (§VII-A) ---
+
+func TestCooperativeIntersectionFlows(t *testing.T) {
+	res, err := RunIntersection(DefaultIntersection(Cooperative, 20), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crossed != 20 || res.Collisions != 0 || res.Deadlocked {
+		t.Errorf("cooperative: %+v", res)
+	}
+}
+
+func TestSelfInterestedCausesCollisions(t *testing.T) {
+	res, err := RunIntersection(DefaultIntersection(SelfInterested, 20), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Error("identical self-interested optimizers should collide contending for the box")
+	}
+}
+
+func TestRegulatedMatchesCooperativeThroughputWithFairness(t *testing.T) {
+	coop, err := RunIntersection(DefaultIntersection(Cooperative, 30), sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := RunIntersection(DefaultIntersection(Regulated, 30), sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Crossed != 30 || reg.Collisions != 0 {
+		t.Errorf("regulated: %+v", reg)
+	}
+	if reg.Ticks > coop.Ticks*2 {
+		t.Errorf("regulated throughput collapsed: %d vs %d ticks", reg.Ticks, coop.Ticks)
+	}
+}
+
+func TestSelfInterestedSlowerThanCooperative(t *testing.T) {
+	coop, err := RunIntersection(DefaultIntersection(Cooperative, 20), sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfish, err := RunIntersection(DefaultIntersection(SelfInterested, 20), sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selfish.Crossed == 20 && selfish.Ticks <= coop.Ticks {
+		t.Errorf("selfish (%d ticks) not slower than cooperative (%d ticks)", selfish.Ticks, coop.Ticks)
+	}
+}
+
+func TestOverCautiousDeadlocks(t *testing.T) {
+	// The paper's literal example: mutual yielding deadlocks as soon as
+	// two vehicles contend.
+	cfg := DefaultIntersection(OverCautious, 10)
+	cfg.MaxTicks = 2000
+	res, err := RunIntersection(cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Errorf("over-cautious fleet did not deadlock: %+v", res)
+	}
+	if res.Crossed >= 10 {
+		t.Errorf("crossed %d despite mutual yielding", res.Crossed)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("over-cautious policy collided %d times", res.Collisions)
+	}
+}
+
+func TestIntersectionValidation(t *testing.T) {
+	if _, err := RunIntersection(IntersectionConfig{Policy: Policy(9)}, sim.NewRNG(1)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if Cooperative.String() != "cooperative" || SelfInterested.String() != "self-interested" || Regulated.String() != "regulated" {
+		t.Error("policy strings")
+	}
+}

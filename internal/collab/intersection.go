@@ -1,0 +1,216 @@
+package collab
+
+import (
+	"sort"
+
+	"autosec/internal/sim"
+)
+
+// This file implements §VII-A, competing collaborative systems: a
+// four-way intersection where autonomous vehicles negotiate crossing.
+// Cooperative agents yield by arrival order; purely self-interested
+// agents claim the junction simultaneously and deadlock (or collide);
+// regulated agents follow a common directive (priority-to-the-right with
+// bounded waiting) that keeps both throughput and fairness.
+
+// Policy is a vehicle's negotiation strategy.
+type Policy int
+
+const (
+	// Cooperative yields to anyone who arrived earlier (FCFS).
+	Cooperative Policy = iota
+	// SelfInterested never yields voluntarily; it enters whenever the
+	// junction box is physically free, racing contenders.
+	SelfInterested
+	// Regulated follows a common legislated rule: FCFS, with a bounded
+	// wait after which a deterministic tie-break (lowest approach index)
+	// applies — the "strict national and international legislation" the
+	// paper calls for.
+	Regulated
+	// OverCautious is the paper's literal deadlock example: every agent
+	// yields whenever any other vehicle is also waiting, so with two or
+	// more contenders nobody ever enters — "different cars stuck at an
+	// intersection, each waiting for the other to proceed".
+	OverCautious
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Cooperative:
+		return "cooperative"
+	case SelfInterested:
+		return "self-interested"
+	case Regulated:
+		return "regulated"
+	case OverCautious:
+		return "over-cautious"
+	default:
+		return "unknown"
+	}
+}
+
+// IntersectionConfig describes one study.
+type IntersectionConfig struct {
+	Policy Policy
+	// Vehicles is the number of cars to push through.
+	Vehicles int
+	// ArrivalPeriod is the mean ticks between arrivals.
+	ArrivalPeriod int
+	// CrossTicks is how long the junction box is occupied per crossing.
+	CrossTicks int
+	// MaxTicks bounds the run (deadlock detection).
+	MaxTicks int
+}
+
+// DefaultIntersection returns the exp-collab workload.
+func DefaultIntersection(policy Policy, vehicles int) IntersectionConfig {
+	return IntersectionConfig{Policy: policy, Vehicles: vehicles, ArrivalPeriod: 3, CrossTicks: 4, MaxTicks: 10000}
+}
+
+// IntersectionResult reports the outcome.
+type IntersectionResult struct {
+	Crossed    int
+	Collisions int
+	Deadlocked bool
+	// MeanWait is the average ticks a vehicle waited before entering.
+	MeanWait float64
+	// MaxWait is the worst case (fairness).
+	MaxWait int
+	// Ticks is the total simulated duration.
+	Ticks int
+}
+
+type car struct {
+	id       int
+	approach int // 0..3
+	arrived  int
+	entered  int
+}
+
+// RunIntersection simulates the crossing contest.
+func RunIntersection(cfg IntersectionConfig, rng *sim.RNG) (IntersectionResult, error) {
+	if cfg.Policy < Cooperative || cfg.Policy > OverCautious {
+		return IntersectionResult{}, errUnknownPolicy
+	}
+	var res IntersectionResult
+	var queue []*car
+	var inBox []*car // cars currently crossing (slice: collisions possible)
+	boxFreeAt := map[int]int{}
+	waits := []int{}
+
+	nextArrival := 1
+	spawned := 0
+	for tick := 1; tick <= cfg.MaxTicks; tick++ {
+		res.Ticks = tick
+		// Arrivals.
+		if spawned < cfg.Vehicles && tick >= nextArrival {
+			queue = append(queue, &car{id: spawned, approach: spawned % 4, arrived: tick})
+			spawned++
+			nextArrival = tick + 1 + rng.Intn(cfg.ArrivalPeriod*2)
+		}
+		// Crossings complete.
+		var still []*car
+		for _, c := range inBox {
+			if tick >= boxFreeAt[c.id] {
+				res.Crossed++
+				waits = append(waits, c.entered-c.arrived)
+			} else {
+				still = append(still, c)
+			}
+		}
+		inBox = still
+
+		if len(queue) > 0 {
+			switch cfg.Policy {
+			case Cooperative, Regulated:
+				// FCFS: the earliest-arrived waiting car enters when
+				// the box is empty. The regulated tie-break on equal
+				// arrival picks the lowest approach index.
+				if len(inBox) == 0 {
+					sort.SliceStable(queue, func(i, j int) bool {
+						if queue[i].arrived != queue[j].arrived {
+							return queue[i].arrived < queue[j].arrived
+						}
+						if cfg.Policy == Regulated {
+							return queue[i].approach < queue[j].approach
+						}
+						return queue[i].id < queue[j].id
+					})
+					c := queue[0]
+					queue = queue[1:]
+					c.entered = tick
+					inBox = append(inBox, c)
+					boxFreeAt[c.id] = tick + cfg.CrossTicks
+				}
+			case OverCautious:
+				// Enter only when nobody else is waiting: with a single
+				// car the junction flows, with contention everyone
+				// defers to everyone — the mutual-yield deadlock.
+				if len(inBox) == 0 && len(queue) == 1 {
+					c := queue[0]
+					queue = nil
+					c.entered = tick
+					inBox = append(inBox, c)
+					boxFreeAt[c.id] = tick + cfg.CrossTicks
+				}
+			case SelfInterested:
+				// Everyone whose sensors say "box free" floors it on
+				// the same tick: multiple simultaneous entries collide;
+				// after a collision both cars block the box for a
+				// while. If the box is occupied, nobody enters — and
+				// since all entrants race every time, sustained
+				// contention stalls into mutual blocking.
+				if len(inBox) == 0 {
+					contenders := 0
+					var entering []*car
+					var rest []*car
+					for _, c := range queue {
+						// A self-interested agent enters if it believes
+						// it can beat the others; with identical
+						// optimizing software they all do.
+						contenders++
+						entering = append(entering, c)
+					}
+					if contenders > 1 {
+						// Simultaneous entry: collision between the
+						// first two; the rest brake at the last moment
+						// and the junction gridlocks for a recovery
+						// period.
+						res.Collisions++
+						c1, c2 := entering[0], entering[1]
+						c1.entered, c2.entered = tick, tick
+						inBox = append(inBox, c1, c2)
+						// Crash recovery: box blocked 5× longer.
+						boxFreeAt[c1.id] = tick + 5*cfg.CrossTicks
+						boxFreeAt[c2.id] = tick + 5*cfg.CrossTicks
+						rest = entering[2:]
+						queue = rest
+					} else if contenders == 1 {
+						c := entering[0]
+						c.entered = tick
+						inBox = append(inBox, c)
+						boxFreeAt[c.id] = tick + cfg.CrossTicks
+						queue = nil
+					}
+				}
+			}
+		}
+
+		if res.Crossed >= cfg.Vehicles {
+			break
+		}
+	}
+	if res.Crossed < cfg.Vehicles {
+		res.Deadlocked = res.Ticks >= cfg.MaxTicks
+	}
+	for _, w := range waits {
+		res.MeanWait += float64(w)
+		if w > res.MaxWait {
+			res.MaxWait = w
+		}
+	}
+	if len(waits) > 0 {
+		res.MeanWait /= float64(len(waits))
+	}
+	return res, nil
+}

@@ -1,0 +1,320 @@
+// Package collab implements the paper's §VII collaboration layer:
+// collaborative perception with object-list sharing between vehicles
+// (ref [47]), external injection and internal data-fabrication attacks
+// (ref [48]), redundancy-based misbehaviour detection, and the
+// competing-collaborative-systems intersection study (§VII-A) comparing
+// cooperative, self-interested, and regulated policies.
+package collab
+
+import (
+	"fmt"
+	"sort"
+
+	"autosec/internal/sim"
+	"autosec/internal/world"
+)
+
+// Claim is one shared object observation.
+type Claim struct {
+	Sender string
+	Pos    world.Vec2
+	// TruthID is scoring-only ground truth ("" = fabricated).
+	TruthID string
+}
+
+// Message is a V2X object-list share.
+type Message struct {
+	Sender string
+	// Authenticated marks messages carrying a valid signature from a
+	// credentialed member. External injections on an open channel are
+	// unauthenticated; an *insider* attacker signs validly.
+	Authenticated bool
+	Claims        []Claim
+}
+
+// Participant is one collaborating vehicle.
+type Participant struct {
+	ID string
+	// SensorRange bounds local perception.
+	SensorRange float64
+	// NoiseStd is local measurement noise.
+	NoiseStd float64
+	// Fabricate, when non-nil, makes this member an internal attacker
+	// that appends a fabricated object at the given position.
+	Fabricate *world.Vec2
+	// Suppress hides a truly-sensed actor ID from this member's shares
+	// (the removal variant of data fabrication).
+	Suppress string
+}
+
+// Sense returns the participant's local observations.
+func (p *Participant) Sense(w *world.World, rng *sim.RNG) []Claim {
+	self := w.Get(p.ID)
+	if self == nil {
+		return nil
+	}
+	var out []Claim
+	for _, a := range w.Neighbors(self.Pos, p.SensorRange, p.ID) {
+		if a.ID == p.Suppress {
+			continue
+		}
+		out = append(out, Claim{
+			Sender:  p.ID,
+			Pos:     world.Vec2{X: a.Pos.X + p.NoiseStd*rng.NormFloat64(), Y: a.Pos.Y + p.NoiseStd*rng.NormFloat64()},
+			TruthID: a.ID,
+		})
+	}
+	return out
+}
+
+// Share builds the participant's V2X message, applying insider attacks.
+func (p *Participant) Share(w *world.World, rng *sim.RNG) Message {
+	claims := p.Sense(w, rng)
+	if p.Fabricate != nil {
+		claims = append(claims, Claim{Sender: p.ID, Pos: *p.Fabricate})
+	}
+	return Message{Sender: p.ID, Authenticated: true, Claims: claims}
+}
+
+// FusionConfig controls the receiver-side validation.
+type FusionConfig struct {
+	// RequireAuth drops unauthenticated messages (defeats external
+	// injection; useless against insiders).
+	RequireAuth bool
+	// RedundancyK requires an object be corroborated by at least K
+	// independent senders whose sensor range covers it (0 disables).
+	RedundancyK int
+	// Gate is the association distance for corroboration.
+	Gate float64
+}
+
+// FusedObject is an accepted collaborative detection.
+type FusedObject struct {
+	Pos     world.Vec2
+	Support int
+	TruthID string
+}
+
+// FusionOutcome scores the result against ground truth.
+type FusionOutcome struct {
+	Accepted   []FusedObject
+	FakeCount  int // accepted objects with no ground truth
+	RealCount  int // accepted genuine objects
+	MissedReal int // genuine objects within someone's range but rejected
+}
+
+// Fuse validates and merges incoming messages at a receiving vehicle.
+// senders maps participant IDs to their configurations (needed to judge
+// whether a non-reporting member *should* have seen an object).
+func Fuse(w *world.World, msgs []Message, senders map[string]*Participant, cfg FusionConfig) FusionOutcome {
+	var claims []Claim
+	for _, m := range msgs {
+		if cfg.RequireAuth && !m.Authenticated {
+			continue
+		}
+		claims = append(claims, m.Claims...)
+	}
+
+	gate := cfg.Gate
+	if gate == 0 {
+		gate = 3.0
+	}
+
+	// Cluster claims by proximity.
+	type clusterT struct {
+		claims  []Claim
+		senders map[string]bool
+	}
+	var clusters []*clusterT
+	for _, c := range claims {
+		placed := false
+		for _, cl := range clusters {
+			if world.Dist(centroid(cl.claims), c.Pos) <= gate {
+				cl.claims = append(cl.claims, c)
+				cl.senders[c.Sender] = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &clusterT{claims: []Claim{c}, senders: map[string]bool{c.Sender: true}})
+		}
+	}
+
+	var out FusionOutcome
+	acceptedTruth := map[string]bool{}
+	for _, cl := range clusters {
+		pos := centroid(cl.claims)
+		support := len(cl.senders)
+		if cfg.RedundancyK > 0 {
+			// Count how many members could have corroborated: those
+			// whose range covers the claim. The claim needs K
+			// supporters among its potential witnesses.
+			witnesses := 0
+			for id, p := range senders {
+				self := w.Get(id)
+				if self == nil {
+					continue
+				}
+				if world.Dist(self.Pos, pos) <= p.SensorRange {
+					witnesses++
+				}
+			}
+			needed := cfg.RedundancyK
+			if witnesses < needed {
+				needed = witnesses // cannot demand more witnesses than exist
+			}
+			if needed < 1 {
+				needed = 1
+			}
+			if support < needed {
+				continue
+			}
+		}
+		truth := majorityTruth(cl.claims)
+		out.Accepted = append(out.Accepted, FusedObject{Pos: pos, Support: support, TruthID: truth})
+		if truth == "" {
+			out.FakeCount++
+		} else {
+			out.RealCount++
+			acceptedTruth[truth] = true
+		}
+	}
+
+	// Score misses: genuine actors inside at least one member's range
+	// that did not survive fusion.
+	for _, a := range w.Actors() {
+		if _, isMember := senders[a.ID]; isMember {
+			continue
+		}
+		visible := false
+		for id, p := range senders {
+			self := w.Get(id)
+			if self != nil && world.Dist(self.Pos, a.Pos) <= p.SensorRange {
+				visible = true
+				break
+			}
+		}
+		if visible && !acceptedTruth[a.ID] {
+			out.MissedReal++
+		}
+	}
+	return out
+}
+
+func centroid(claims []Claim) world.Vec2 {
+	var sum world.Vec2
+	for _, c := range claims {
+		sum = sum.Add(c.Pos)
+	}
+	return sum.Scale(1 / float64(len(claims)))
+}
+
+func majorityTruth(claims []Claim) string {
+	counts := map[string]int{}
+	for _, c := range claims {
+		counts[c.TruthID]++
+	}
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	best, bestN := "", 0
+	for _, id := range ids {
+		if counts[id] > bestN {
+			best, bestN = id, counts[id]
+		}
+	}
+	return best
+}
+
+// TrustTracker maintains per-sender misbehaviour scores across rounds:
+// a sender whose claims repeatedly fail corroboration loses trust and
+// is eventually excluded — the "comprehensive intrusion detection"
+// §VII-B calls for when credentials alone cannot help.
+type TrustTracker struct {
+	scores map[string]float64
+	// Threshold below which a sender is excluded.
+	Threshold float64
+}
+
+// NewTrustTracker starts everyone at full trust (1.0).
+func NewTrustTracker() *TrustTracker {
+	return &TrustTracker{scores: map[string]float64{}, Threshold: 0.4}
+}
+
+// Score returns a sender's current trust (default 1.0).
+func (t *TrustTracker) Score(id string) float64 {
+	if s, ok := t.scores[id]; ok {
+		return s
+	}
+	return 1.0
+}
+
+// Excluded reports whether the sender has fallen below the threshold.
+func (t *TrustTracker) Excluded(id string) bool { return t.Score(id) < t.Threshold }
+
+// Observe updates trust from one round's fusion: senders whose claims
+// ended in rejected single-source clusters (potential fabrications) are
+// penalized; corroborated senders recover.
+func (t *TrustTracker) Observe(w *world.World, msgs []Message, senders map[string]*Participant, cfg FusionConfig) {
+	gate := cfg.Gate
+	if gate == 0 {
+		gate = 3.0
+	}
+	for _, m := range msgs {
+		suspicious := 0
+		for _, c := range m.Claims {
+			// A claim is suspicious if another member covering the
+			// position does not report anything near it.
+			corroborated := false
+			contradicted := false
+			for id, p := range senders {
+				if id == m.Sender {
+					continue
+				}
+				self := w.Get(id)
+				if self == nil || world.Dist(self.Pos, c.Pos) > p.SensorRange {
+					continue
+				}
+				near := false
+				for _, other := range msgs {
+					if other.Sender != id {
+						continue
+					}
+					for _, oc := range other.Claims {
+						if world.Dist(oc.Pos, c.Pos) <= gate {
+							near = true
+							break
+						}
+					}
+				}
+				if near {
+					corroborated = true
+				} else {
+					contradicted = true
+				}
+			}
+			if contradicted && !corroborated {
+				suspicious++
+			}
+		}
+		cur := t.Score(m.Sender)
+		if suspicious > 0 {
+			cur -= 0.2 * float64(suspicious)
+		} else {
+			cur += 0.05
+		}
+		if cur > 1 {
+			cur = 1
+		}
+		if cur < 0 {
+			cur = 0
+		}
+		t.scores[m.Sender] = cur
+	}
+}
+
+// Error values shared with the intersection sim.
+var errUnknownPolicy = fmt.Errorf("collab: unknown policy")

@@ -1,0 +1,183 @@
+package core
+
+// DefaultCatalog builds the threat/defence model seeded from the paper:
+// each entry cites the section it comes from, and the Enables edges
+// encode the cross-layer escalations the paper narrates (e.g. a cloud
+// key leak at the data layer enables fleet-wide data extraction; a CAN
+// masquerade at the network layer enables actuation abuse).
+func DefaultCatalog() (*Catalog, error) {
+	c := NewCatalog()
+
+	threats := []*Threat{
+		// Physical layer (§II).
+		{ID: "T-relay", Layer: Physical, Name: "PKES relay attack", Section: "II-A",
+			Enables: []string{"T-theft"}},
+		{ID: "T-dist-reduce", Layer: Physical, Name: "UWB distance reduction (ghost peak / ED-LC)", Section: "II-A",
+			Enables: []string{"T-theft"}},
+		{ID: "T-dist-enlarge", Layer: Physical, Name: "Distance enlargement (jam-and-replay)", Section: "II-B",
+			SafetyImpact: true},
+		{ID: "T-sensor-spoof", Layer: Physical, Name: "Sensor spoofing (ghost objects)", Section: "II-B",
+			SafetyImpact: true},
+		{ID: "T-sensor-remove", Layer: Physical, Name: "Object removal from sensor view", Section: "II-B",
+			SafetyImpact: true},
+		{ID: "T-theft", Layer: Physical, Name: "Vehicle theft via entry system", Section: "II-A"},
+
+		// Network layer (§III).
+		{ID: "T-masquerade", Layer: Network, Name: "CAN masquerade (no sender authentication)", Section: "III",
+			Enables: []string{"T-actuation"}, SafetyImpact: false},
+		{ID: "T-replay", Layer: Network, Name: "In-vehicle frame replay", Section: "III-A",
+			Enables: []string{"T-actuation"}},
+		{ID: "T-bus-dos", Layer: Network, Name: "Bus flooding / bus-off DoS", Section: "III",
+			SafetyImpact: true},
+		{ID: "T-remote-entry", Layer: Network, Name: "Remote exploitation via wireless interface", Section: "III",
+			Enables: []string{"T-masquerade", "T-malware"}},
+		{ID: "T-actuation", Layer: Network, Name: "Unauthorized actuation of safety functions", Section: "III",
+			SafetyImpact: true},
+
+		// Software & platform layer (§IV).
+		{ID: "T-malware", Layer: SoftwarePlatform, Name: "Unauthorized software on vehicle platform", Section: "IV-A",
+			Enables: []string{"T-masquerade", "T-data-forge"}, SafetyImpact: true},
+		{ID: "T-counterfeit-hw", Layer: SoftwarePlatform, Name: "Counterfeit/incompatible hardware in reconfiguration", Section: "IV-A",
+			Enables: []string{"T-malware"}},
+		{ID: "T-data-forge", Layer: SoftwarePlatform, Name: "Forged crash reports / logs / scenario data", Section: "IV-B"},
+		{ID: "T-charging-fraud", Layer: SoftwarePlatform, Name: "Charging authorization fraud", Section: "IV-C"},
+
+		// Data layer (§V).
+		{ID: "T-dir-enum", Layer: Data, Name: "Backend directory enumeration", Section: "V-A",
+			Enables: []string{"T-heapdump"}},
+		{ID: "T-heapdump", Layer: Data, Name: "Exposed debug endpoint (heap dump)", Section: "V-A",
+			Enables: []string{"T-key-leak"}},
+		{ID: "T-key-leak", Layer: Data, Name: "Cloud credential leak from process memory", Section: "V-A",
+			Enables: []string{"T-fleet-exfil"}},
+		{ID: "T-fleet-exfil", Layer: Data, Name: "Fleet-wide telemetry exfiltration", Section: "V-A",
+			Enables: []string{"T-stalking"}},
+		// The paper argues the breach's tracking capability endangers
+		// people directly (intelligence-service personnel, stalking),
+		// so it counts as safety impact.
+		{ID: "T-stalking", Layer: Data, Name: "Per-person geolocation tracking", Section: "V", SafetyImpact: true},
+
+		// Network layer extensions (§VIII refs [52], [53]).
+		{ID: "T-time-delay", Layer: Network, Name: "PTP time delay attack (clock skew via one-way delay)", Section: "VIII",
+			Enables: []string{"T-actuation"}},
+
+		// Software & platform extensions (§IV-A).
+		{ID: "T-ota-rollback", Layer: SoftwarePlatform, Name: "Signed-but-vulnerable release replay (downgrade)", Section: "IV-A",
+			Enables: []string{"T-malware"}},
+
+		// Data layer extension (§VIII ref [54]).
+		{ID: "T-unauth-access", Layer: Data, Name: "Unauthorized access to owner data by ecosystem parties", Section: "VIII"},
+
+		// Collaboration layer extension (§VII-B privacy).
+		{ID: "T-pseudonym-track", Layer: Collaboration, Name: "Trajectory tracking via linkable V2X transmissions", Section: "VII-B"},
+
+		// System of systems layer (§VI).
+		{ID: "T-backend-pivot", Layer: SystemOfSystems, Name: "Compromise cascade from backend into vehicles", Section: "VI-B",
+			Enables: []string{"T-malware", "T-fleet-exfil"}, SafetyImpact: true},
+		{ID: "T-resp-gap", Layer: SystemOfSystems, Name: "Unowned security responsibility at stakeholder boundary", Section: "VI-B",
+			Enables: []string{"T-backend-pivot"}},
+		{ID: "T-3rdparty", Layer: SystemOfSystems, Name: "Vulnerable third-party / legacy integration", Section: "VI-B",
+			Enables: []string{"T-remote-entry"}},
+
+		// Collaboration layer (§VII).
+		{ID: "T-v2x-inject", Layer: Collaboration, Name: "External false-data injection into V2X", Section: "VII-B",
+			SafetyImpact: true},
+		{ID: "T-insider-fabricate", Layer: Collaboration, Name: "Insider data fabrication in collaborative perception", Section: "VII-B",
+			SafetyImpact: true},
+		{ID: "T-selfish-deadlock", Layer: Collaboration, Name: "Resource competition deadlock/collision between self-interested agents", Section: "VII-A",
+			SafetyImpact: true},
+	}
+	for _, t := range threats {
+		if err := c.AddThreat(t); err != nil {
+			return nil, err
+		}
+	}
+
+	defences := []*Defence{
+		// Physical.
+		{ID: "D-uwb-tof", Layer: Physical, Name: "UWB two-way ToF ranging (secure receiver)", Section: "II-A",
+			Mitigates: []string{"T-relay", "T-dist-reduce"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-dist-bound", Layer: Physical, Name: "Distance bounding with commitment (LRP)", Section: "II-A",
+			Mitigates: []string{"T-relay", "T-dist-reduce"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-enlarge-guard", Layer: Physical, Name: "Enlargement detection (UWB-ED energy test)", Section: "II-B",
+			Mitigates: []string{"T-dist-enlarge"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-fusion", Layer: Physical, Name: "Multi-modal consensus fusion with verified ranging", Section: "II-B",
+			Mitigates: []string{"T-sensor-spoof", "T-sensor-remove"}, Requires: []string{"D-uwb-tof"}},
+
+		// Network.
+		{ID: "D-secoc", Layer: Network, Name: "AUTOSAR SECOC (authenticated PDUs + freshness)", Section: "III-A",
+			Mitigates: []string{"T-masquerade", "T-replay"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-macsec", Layer: Network, Name: "MACsec / CANsec link protection", Section: "III-A",
+			Mitigates: []string{"T-masquerade", "T-replay"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-ids", Layer: Network, Name: "Network IDS + sender identification + response", Section: "VIII",
+			Mitigates: []string{"T-bus-dos", "T-masquerade"}},
+		{ID: "D-hardened-gw", Layer: Network, Name: "Hardened telematics gateway (reduced remote surface)", Section: "V-B",
+			Mitigates: []string{"T-remote-entry"}},
+
+		// Software & platform.
+		{ID: "D-ssi-reconfig", Layer: SoftwarePlatform, Name: "SSI mutual authentication for reconfiguration", Section: "IV-A",
+			Mitigates: []string{"T-malware", "T-counterfeit-hw"}, Requires: []string{"D-registry"}},
+		{ID: "D-signed-data", Layer: SoftwarePlatform, Name: "Signed, linked data records", Section: "IV-B",
+			Mitigates: []string{"T-data-forge"}, Requires: []string{"D-registry"}},
+		{ID: "D-ssi-charging", Layer: SoftwarePlatform, Name: "SSI-based plug-and-charge", Section: "IV-C",
+			Mitigates: []string{"T-charging-fraud"}, Requires: []string{"D-registry"}},
+		{ID: "D-registry", Layer: SoftwarePlatform, Name: "Verifiable data registry with multiple trust anchors", Section: "IV"},
+		{ID: "D-key-mgmt", Layer: SoftwarePlatform, Name: "Vehicle key provisioning & session key management", Section: "III-A"},
+
+		// Data.
+		{ID: "D-no-debug", Layer: Data, Name: "Production hardening: debug endpoints disabled", Section: "V-B",
+			Mitigates: []string{"T-heapdump"}},
+		{ID: "D-secret-store", Layer: Data, Name: "External secret store / memory scrubbing", Section: "V-B",
+			Mitigates: []string{"T-key-leak"}},
+		{ID: "D-least-priv", Layer: Data, Name: "Least-privilege IAM scoping", Section: "V-B",
+			Mitigates: []string{"T-fleet-exfil"}},
+		{ID: "D-minimize", Layer: Data, Name: "Data minimization (coarse geolocation)", Section: "V-C",
+			Mitigates: []string{"T-stalking"}},
+		{ID: "D-enum-defence", Layer: Data, Name: "Enumeration rate limiting / uniform responses", Section: "V-B",
+			Mitigates: []string{"T-dir-enum"}},
+
+		{ID: "D-ptpsec", Layer: Network, Name: "PTPsec cyclic path asymmetry analysis", Section: "VIII",
+			Mitigates: []string{"T-time-delay"}},
+		{ID: "D-ota", Layer: SoftwarePlatform, Name: "Signed OTA with anti-rollback and health-checked boot", Section: "IV-A",
+			Mitigates: []string{"T-ota-rollback"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-secret-sharing", Layer: Data, Name: "Owner-controlled access via threshold secret sharing", Section: "VIII",
+			Mitigates: []string{"T-unauth-access"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-pseudonyms", Layer: Collaboration, Name: "Rotating V2X pseudonym certificates with escrow", Section: "VII-B",
+			Mitigates: []string{"T-pseudonym-track"}, Requires: []string{"D-registry"}},
+
+		// System of systems.
+		{ID: "D-segmentation", Layer: SystemOfSystems, Name: "Inter-system segmentation & hardened boundaries", Section: "VI-B",
+			Mitigates: []string{"T-backend-pivot"}},
+		{ID: "D-resp-matrix", Layer: SystemOfSystems, Name: "Unified security framework with assigned link owners", Section: "VI-B",
+			Mitigates: []string{"T-resp-gap"}},
+		{ID: "D-supplier-audit", Layer: SystemOfSystems, Name: "Third-party / legacy component security validation", Section: "VI-B",
+			Mitigates: []string{"T-3rdparty"}},
+
+		// Collaboration.
+		{ID: "D-v2x-auth", Layer: Collaboration, Name: "Authenticated V2X messaging", Section: "VII-B",
+			Mitigates: []string{"T-v2x-inject"}, Requires: []string{"D-key-mgmt"}},
+		{ID: "D-misbehaviour", Layer: Collaboration, Name: "Redundancy-based misbehaviour detection", Section: "VII-B",
+			Mitigates: []string{"T-insider-fabricate"}, Requires: []string{"D-v2x-auth"}},
+		{ID: "D-regulation", Layer: Collaboration, Name: "Common directives for competing agents", Section: "VII-A",
+			Mitigates: []string{"T-selfish-deadlock"}},
+	}
+	for _, d := range defences {
+		if err := c.AddDefence(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// FullDeployment deploys every defence in the catalog.
+func FullDeployment(c *Catalog) (*Posture, error) {
+	p := NewPosture(c)
+	for _, d := range c.Defences() {
+		if err := p.Deploy(d.ID); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

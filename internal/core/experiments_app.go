@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"autosec/internal/canbus"
+	"autosec/internal/collab"
+	"autosec/internal/ids"
+	"autosec/internal/sensor"
+	"autosec/internal/sim"
+	"autosec/internal/world"
+)
+
+// RunExpCA reproduces the §II-B collision-avoidance claims: sensor
+// attacks against naive, consensus, and ranging-verified fusion.
+func RunExpCA(seed int64) (string, error) {
+	rng := sim.NewRNG(seed)
+	key := []byte("exp-ca-range-key")
+	const encounters = 20
+
+	tb := sim.NewTable("§II-B — collision avoidance under sensor attack (20 encounters each)",
+		"fusion", "attack", "collisions", "phantom-brakes", "braked")
+
+	ghost := func() *sensor.Attack {
+		g := world.Vec2{X: 20}
+		return &sensor.Attack{Target: sensor.Radar, GhostAt: &g}
+	}
+	removal := &sensor.Attack{Target: sensor.Lidar, RemoveID: "lead"}
+	enlarge := &sensor.Attack{EnlargeM: 40}
+
+	type study struct {
+		policy sensor.FusionPolicy
+		attack *sensor.Attack
+		name   string
+		// farGap puts the real lead far away so any braking is phantom.
+		farGap bool
+	}
+	studies := []study{
+		{sensor.NaiveFusion, nil, "none", false},
+		{sensor.ConsensusFusion, nil, "none", false},
+		{sensor.VerifiedFusion, nil, "none", false},
+		{sensor.NaiveFusion, ghost(), "ghost", true},
+		{sensor.ConsensusFusion, ghost(), "ghost", true},
+		{sensor.NaiveFusion, removal, "removal", false},
+		{sensor.ConsensusFusion, removal, "removal", false},
+		{sensor.VerifiedFusion, enlarge, "enlarge", false},
+	}
+	for _, st := range studies {
+		collisions, phantoms, braked := 0, 0, 0
+		for i := 0; i < encounters; i++ {
+			cfg := sensor.DefaultEncounter(st.policy, st.attack)
+			if st.farGap {
+				cfg.InitialGapM = 300
+			}
+			res, err := sensor.RunEncounter(cfg, key, rng.Fork())
+			if err != nil {
+				return "", err
+			}
+			if res.Collided {
+				collisions++
+			}
+			if res.FalseBrake {
+				phantoms++
+			}
+			if res.Braked {
+				braked++
+			}
+		}
+		tb.AddRow(st.policy.String(), st.name, collisions, phantoms, braked)
+	}
+	// Cut-in scenario: the dangerous 2-D variant where late detection
+	// hurts most.
+	cutIn := sim.NewTable("cut-in from adjacent lane (20 encounters each)",
+		"fusion", "attack", "collisions", "reacted")
+	for _, st := range []struct {
+		policy sensor.FusionPolicy
+		attack *sensor.Attack
+		name   string
+	}{
+		{sensor.ConsensusFusion, nil, "none"},
+		{sensor.ConsensusFusion, removal, "removal"},
+		{sensor.VerifiedFusion, nil, "none"},
+	} {
+		collisions, reacted := 0, 0
+		for i := 0; i < encounters; i++ {
+			res, err := sensor.RunCutIn(sensor.DefaultCutIn(st.policy, st.attack), key, rng.Fork())
+			if err != nil {
+				return "", err
+			}
+			if res.Collided {
+				collisions++
+			}
+			if res.Braked {
+				reacted++
+			}
+		}
+		cutIn.AddRow(st.policy.String(), st.name, collisions, reacted)
+	}
+
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\n")
+	b.WriteString(cutIn.String())
+	b.WriteString("\nsingle-modality ghosts cause phantom braking only under naive fusion; removal from one\n")
+	b.WriteString("modality is absorbed by consensus; distance enlargement is caught by the integrity-checked\n")
+	b.WriteString("ranging channel (fail-safe: the consensus range is kept).\n")
+	return b.String(), nil
+}
+
+// RunExpCollab reproduces §VII: fabrication detection in collaborative
+// perception and the competing-agents intersection study.
+func RunExpCollab(seed int64) (string, error) {
+	rng := sim.NewRNG(seed)
+	var b strings.Builder
+
+	// --- perception ---
+	build := func() (*world.World, map[string]*collab.Participant, error) {
+		w := world.New()
+		members := map[string]*collab.Participant{}
+		for i, x := range []float64{0, 20, 40, 60} {
+			id := string(rune('a' + i))
+			if err := w.Add(&world.Actor{ID: id, Pos: world.Vec2{X: x}, Radius: 1}); err != nil {
+				return nil, nil, err
+			}
+			members[id] = &collab.Participant{ID: id, SensorRange: 50, NoiseStd: 0.1}
+		}
+		if err := w.Add(&world.Actor{ID: "ped", Pos: world.Vec2{X: 30, Y: 4}, Radius: 0.4}); err != nil {
+			return nil, nil, err
+		}
+		return w, members, nil
+	}
+	share := func(w *world.World, members map[string]*collab.Participant, external bool) []collab.Message {
+		var msgs []collab.Message
+		for _, id := range []string{"a", "b", "c", "d"} {
+			msgs = append(msgs, members[id].Share(w, rng))
+		}
+		if external {
+			msgs = append(msgs, collab.Message{Sender: "roadside-ghost", Authenticated: false,
+				Claims: []collab.Claim{{Sender: "roadside-ghost", Pos: world.Vec2{X: 30, Y: 0}}}})
+		}
+		return msgs
+	}
+
+	tb := sim.NewTable("§VII-B — collaborative perception under attack (per round)",
+		"attacker", "channel/fusion", "fakes-accepted", "real-accepted", "missed-real")
+	type cfgCase struct {
+		name     string
+		external bool
+		insider  bool
+		cfg      collab.FusionConfig
+	}
+	fake := world.Vec2{X: 35}
+	cases := []cfgCase{
+		{"external", true, false, collab.FusionConfig{RequireAuth: false}},
+		{"external", true, false, collab.FusionConfig{RequireAuth: true}},
+		{"insider", false, true, collab.FusionConfig{RequireAuth: true}},
+		{"insider", false, true, collab.FusionConfig{RequireAuth: true, RedundancyK: 2}},
+	}
+	labels := []string{"open/naive", "auth/naive", "auth/naive", "auth/redundancy-2"}
+	for i, tc := range cases {
+		w, members, err := build()
+		if err != nil {
+			return "", err
+		}
+		if tc.insider {
+			members["b"].Fabricate = &fake
+		}
+		out := collab.Fuse(w, share(w, members, tc.external), members, tc.cfg)
+		tb.AddRow(tc.name, labels[i], out.FakeCount, out.RealCount, out.MissedReal)
+	}
+	b.WriteString(tb.String())
+
+	// Trust convergence against the insider.
+	w, members, err := build()
+	if err != nil {
+		return "", err
+	}
+	members["b"].Fabricate = &fake
+	tracker := collab.NewTrustTracker()
+	cfg := collab.FusionConfig{RequireAuth: true, RedundancyK: 2}
+	rounds := 0
+	for !tracker.Excluded("b") && rounds < 50 {
+		tracker.Observe(w, share(w, members, false), members, cfg)
+		rounds++
+	}
+	fmt.Fprintf(&b, "\ninsider excluded by trust tracking after %d rounds (score %.2f)\n\n", rounds, tracker.Score("b"))
+
+	// --- intersection competition ---
+	it := sim.NewTable("§VII-A — intersection competition (30 vehicles)",
+		"policy", "crossed", "collisions", "deadlocked", "ticks", "mean-wait", "max-wait")
+	for _, policy := range []collab.Policy{collab.Cooperative, collab.SelfInterested, collab.OverCautious, collab.Regulated} {
+		res, err := collab.RunIntersection(collab.DefaultIntersection(policy, 30), rng.Fork())
+		if err != nil {
+			return "", err
+		}
+		it.AddRow(policy.String(), res.Crossed, res.Collisions, res.Deadlocked, res.Ticks, res.MeanWait, res.MaxWait)
+	}
+	b.WriteString(it.String())
+	return b.String(), nil
+}
+
+// RunExpIDS reproduces §VIII: detection and response against masquerade
+// and flooding on CAN.
+func RunExpIDS(seed int64) (string, error) {
+	var b strings.Builder
+	tb := sim.NewTable("§VIII — intrusion detection & response on CAN",
+		"response-mode", "alerts", "masquerader-isolated", "containment-ms", "rekeys")
+
+	for _, action := range []ids.ResponseAction{ids.AlertOnly, ids.Isolate, ids.IsolateAndRekey} {
+		k := sim.NewKernel(seed)
+		bus := canbus.NewBus("zone", canbus.DefaultBitRates(), k)
+		bus.Attach(&canbus.NodeFunc{ID: "rx"})
+		engine := ids.NewEngine(action, k)
+		engine.SenderID().Enroll(0x0C0, "engine")
+		engine.SenderID().KnowNode("infotainment")
+		engine.Attach(bus)
+
+		// Training phase: 30 clean periodic frames.
+		for i := 0; i < 30; i++ {
+			at := sim.Time(i+1) * 10 * sim.Millisecond
+			k.Schedule(at, "legit", func(k *sim.Kernel) {
+				_ = bus.Send("engine", &canbus.Frame{ID: 0x0C0, Format: canbus.Classic, Payload: []byte{1}})
+			})
+		}
+		k.Schedule(305*sim.Millisecond, "end-training", func(*sim.Kernel) {
+			engine.Interval().EndTraining()
+		})
+		// Attack phase: masquerade injections between legit frames.
+		attackStart := sim.Time(310) * sim.Millisecond
+		for i := 0; i < 30; i++ {
+			at := attackStart + sim.Time(i)*10*sim.Millisecond
+			k.Schedule(at, "legit", func(k *sim.Kernel) {
+				_ = bus.Send("engine", &canbus.Frame{ID: 0x0C0, Format: canbus.Classic, Payload: []byte{1}})
+			})
+			k.Schedule(at+2*sim.Millisecond, "masq", func(k *sim.Kernel) {
+				_ = bus.Send("infotainment", &canbus.Frame{ID: 0x0C0, Format: canbus.Classic, Payload: []byte{0xFF}})
+			})
+		}
+		if err := k.Run(0); err != nil {
+			return "", err
+		}
+		containment := "-"
+		if at, ok := engine.ContainedAt["infotainment"]; ok {
+			containment = fmt.Sprintf("%.1f", float64(at-attackStart)/float64(sim.Millisecond))
+		}
+		tb.AddRow(action.String(), len(engine.Alerts()), engine.Isolated("infotainment"), containment, engine.Rekeys())
+	}
+	b.WriteString(tb.String())
+	b.WriteString("\nthe sender-identification detector attributes masquerade frames to the physical\n")
+	b.WriteString("transmitter (EASI-style analog fingerprint), enabling targeted isolation within milliseconds.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"autosec/internal/killchain"
+	"autosec/internal/sdv"
+	"autosec/internal/sim"
+	"autosec/internal/sos"
+	"autosec/internal/ssi"
+	"autosec/internal/telemetry"
+)
+
+// RunFig7 regenerates Fig. 7: the SDV trust relations — multi-anchor
+// credential issuance, mutually authenticated placement, failover, and
+// a revoked (compromised) update that cannot land.
+func RunFig7(seed int64) (string, error) {
+	mkKey := func(b byte) (*ssi.KeyPair, error) {
+		s := make([]byte, 32)
+		for i := range s {
+			s[i] = b
+		}
+		return ssi.GenerateKeyPair(s)
+	}
+	oem, err := mkKey(byte(seed%200) + 1)
+	if err != nil {
+		return "", err
+	}
+	vendor, err := mkKey(byte(seed%200) + 2)
+	if err != nil {
+		return "", err
+	}
+	cloud, err := mkKey(byte(seed%200) + 3)
+	if err != nil {
+		return "", err
+	}
+
+	reg := ssi.NewRegistry()
+	trust := ssi.NewTrustRegistry()
+	trust.AddAnchor(sdv.CredPlatformAttest, oem.DID)
+	trust.AddAnchor(sdv.CredSoftwareApproval, vendor.DID)
+	trust.AddAnchor(sdv.CredHardwareCompat, vendor.DID)
+	trust.AddAnchor(sdv.CredCloudService, cloud.DID)
+	for _, k := range []*ssi.KeyPair{oem, vendor, cloud} {
+		if err := reg.Register(ssi.NewDocument(k)); err != nil {
+			return "", err
+		}
+	}
+	verifier := ssi.NewVerifier(reg, trust)
+	revocations := ssi.NewRevocationList(vendor, 0)
+	if err := verifier.AddRevocationList(revocations); err != nil {
+		return "", err
+	}
+	mgr := sdv.NewManager(verifier)
+
+	var b strings.Builder
+	b.WriteString("Fig. 7 — software-defined vehicle trust relations\n")
+	fmt.Fprintf(&b, "  trust anchors: OEM=%s…  vendor=%s…  cloud=%s…\n\n", oem.DID[:16], vendor.DID[:16], cloud.DID[:16])
+
+	// Two hardware nodes attested by the OEM.
+	for i, id := range []string{"zc-left", "zc-right"} {
+		k, err := mkKey(byte(seed%200) + 10 + byte(i))
+		if err != nil {
+			return "", err
+		}
+		if err := reg.Register(ssi.NewDocument(k)); err != nil {
+			return "", err
+		}
+		att, err := ssi.Issue(oem, &ssi.Credential{
+			ID: "att-" + id, Type: sdv.CredPlatformAttest,
+			Issuer: oem.DID, Subject: k.DID,
+			Claims: map[string]string{"platform": "zc-gen3"}, IssuedAt: 0,
+		})
+		if err != nil {
+			return "", err
+		}
+		n := &sdv.HardwareNode{ID: id, Identity: k, Platform: "zc-gen3", Capacity: 8, Attestation: att}
+		if err := mgr.AddNode(n); err != nil {
+			return "", err
+		}
+	}
+
+	// Brake controller from the vendor.
+	ck, err := mkKey(byte(seed%200) + 20)
+	if err != nil {
+		return "", err
+	}
+	if err := reg.Register(ssi.NewDocument(ck)); err != nil {
+		return "", err
+	}
+	issue := func(id, typ, version string) (*ssi.Credential, error) {
+		claims := map[string]string{"version": version}
+		if typ == sdv.CredHardwareCompat {
+			claims["platform"] = "zc-gen3"
+		}
+		return ssi.Issue(vendor, &ssi.Credential{
+			ID: id, Type: typ, Issuer: vendor.DID, Subject: ck.DID,
+			Claims: claims, IssuedAt: 0,
+		})
+	}
+	appr, err := issue("appr-2.1", sdv.CredSoftwareApproval, "2.1")
+	if err != nil {
+		return "", err
+	}
+	compat, err := issue("compat-2.1", sdv.CredHardwareCompat, "2.1")
+	if err != nil {
+		return "", err
+	}
+	comp := &sdv.SoftwareComponent{ID: "brake-ctrl", Identity: ck, Version: "2.1", Units: 4,
+		Approval: appr, Compat: []*ssi.Credential{compat}}
+	if err := mgr.AddComponent(comp); err != nil {
+		return "", err
+	}
+
+	if err := mgr.Place("brake-ctrl", "zc-left", 100); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "place brake-ctrl@2.1 on zc-left: OK (mutual SSI authentication)\n")
+
+	relocated, stranded, err := mgr.FailNode("zc-left", 200)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "zc-left fails: relocated=%v stranded=%v → now on %s\n", relocated, stranded, mgr.PlacementOf("brake-ctrl"))
+
+	// Compromised update: the vendor revokes 2.2's approval.
+	appr22, err := issue("appr-2.2", sdv.CredSoftwareApproval, "2.2")
+	if err != nil {
+		return "", err
+	}
+	compat22, err := issue("compat-2.2", sdv.CredHardwareCompat, "2.2")
+	if err != nil {
+		return "", err
+	}
+	if err := revocations.Revoke(vendor, "appr-2.2", 250); err != nil {
+		return "", err
+	}
+	if err := verifier.AddRevocationList(revocations); err != nil {
+		return "", err
+	}
+	updateErr := mgr.Update("brake-ctrl", "2.2", appr22, []*ssi.Credential{compat22}, 300)
+	fmt.Fprintf(&b, "update to revoked 2.2: %v (rolled back to %s)\n", updateErr != nil, comp.Version)
+
+	b.WriteString("\naudit log:\n")
+	for _, l := range mgr.Log {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String(), nil
+}
+
+// RunFig8 regenerates Fig. 8: the kill chain under every single-defence
+// configuration plus none/all, quantifying where the chain breaks.
+func RunFig8(seed int64) (string, error) {
+	rng := sim.NewRNG(seed)
+	const fleet, points = 200, 40
+
+	tb := sim.NewTable("Fig. 8 — CARIAD-style telemetry kill chain vs defences",
+		"defences", "chain-broken-at", "records", "vehicles", "precision-m", "personal-data")
+
+	runCase := func(label string, cfg telemetry.Config) {
+		cloud := telemetry.NewCloud(cfg, fleet, points, rng.Fork())
+		rep := killchain.Run(cloud)
+		broken := "— (breached)"
+		if !rep.Breached {
+			broken = rep.Stages[len(rep.Stages)-1].Stage.String()
+		}
+		tb.AddRow(label, broken, rep.RecordsExfiltrated, rep.VehiclesAffected, rep.PrecisionM, rep.PersonalData)
+	}
+
+	runCase("none (the incident)", telemetry.WorstCase())
+	for _, d := range killchain.Defences() {
+		runCase(d.String(), killchain.Apply(d))
+	}
+	runCase("all", killchain.Apply(killchain.Defences()...))
+
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nfull trace of the undefended chain:\n")
+	cloud := telemetry.NewCloud(telemetry.WorstCase(), fleet, points, rng.Fork())
+	b.WriteString(killchain.Run(cloud).String())
+	return b.String(), nil
+}
+
+// RunExpStealth operationalizes §V-B takeaway 1 — "lack of incidents is
+// not an indication of security": identical data theft, loud vs
+// patient, against a cloud with monitoring enabled.
+func RunExpStealth(seed int64) (string, error) {
+	rng := sim.NewRNG(seed)
+	tb := sim.NewTable("§V-B — exfiltration strategy vs cloud monitoring (200-vehicle fleet)",
+		"strategy", "records", "vehicles", "detected", "alerts", "logical-steps")
+	for _, strategy := range []killchain.ExfilStrategy{killchain.BulkExfil, killchain.LowAndSlow} {
+		cloud := telemetry.NewCloud(telemetry.WorstCase(), 200, 40, rng.Fork())
+		cloud.AttachMonitor(telemetry.DefaultMonitor())
+		rep, err := killchain.RunStealthExfil(cloud, strategy)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRow(strategy.String(), rep.RecordsExfiltrated, rep.VehiclesAffected,
+			rep.Detected, len(rep.Alerts), rep.StepsTaken)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\nthe patient attacker steals the identical fleet without one alert — systems that look\n")
+	b.WriteString("incident-free may simply host attackers who choose not to be incidents (§V-B-1).\n")
+	return b.String(), nil
+}
+
+// RunFig9 regenerates Fig. 9: the MaaS system-of-systems inventory,
+// per-level attack surface, responsibility gaps, and cascade risk from
+// each entry point before and after boundary hardening.
+func RunFig9(seed int64) (string, error) {
+	m, err := sos.BuildMaaS()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	inv := sim.NewTable("Fig. 9 — AV MaaS system of systems (levels 0–3)",
+		"level", "systems", "interfaces", "external", "external-by-kind")
+	for _, r := range m.AttackSurface() {
+		kinds := ""
+		for _, k := range []sos.InterfaceKind{sos.PhysicalPort, sos.SensorInput, sos.WirelessLink, sos.BackendAPI, sos.HumanInterface} {
+			if n := r.ByKind[k]; n > 0 {
+				kinds += fmt.Sprintf("%s:%d ", k, n)
+			}
+		}
+		inv.AddRow(r.Level, r.Systems, r.Interfaces, r.ExternalInterfaces, strings.TrimSpace(kinds))
+	}
+	b.WriteString(inv.String())
+
+	unowned, cross := m.ResponsibilityGaps()
+	fmt.Fprintf(&b, "\nresponsibility gaps: %d links have no security owner (of %d cross-stakeholder links):\n", len(unowned), len(cross))
+	for _, l := range unowned {
+		fmt.Fprintf(&b, "  %s → %s\n", l.From, l.To)
+	}
+
+	rng := sim.NewRNG(seed)
+	casc := sim.NewTable("cascade risk (10000 trials per entry)",
+		"entry", "mean-compromised", "P(safety-critical)", "hardened-mean", "hardened-P")
+	for _, entry := range []string{"backend", "hub", "passenger-os", "sense"} {
+		before, err := m.Cascade(entry, 10000, rng.Fork())
+		if err != nil {
+			return "", err
+		}
+		hardened, err := sos.BuildMaaS()
+		if err != nil {
+			return "", err
+		}
+		if _, err := hardened.Harden(0.3, "unified-security-owner"); err != nil {
+			return "", err
+		}
+		after, err := hardened.Cascade(entry, 10000, rng.Fork())
+		if err != nil {
+			return "", err
+		}
+		casc.AddRow(entry, before.MeanCompromised, before.SafetyCriticalProb, after.MeanCompromised, after.SafetyCriticalProb)
+	}
+	b.WriteString("\n")
+	b.WriteString(casc.String())
+	return b.String(), nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"autosec/internal/canbus"
+	"autosec/internal/ids"
+	"autosec/internal/sim"
+	"autosec/internal/tara"
+)
+
+// RunExpTARA reproduces the regulatory angle of §VI: an ISO/SAE
+// 21434-style risk worksheet for the vehicle, before and after the
+// framework's technical controls are applied as treatments.
+func RunExpTARA(seed int64) (string, error) {
+	var b strings.Builder
+	render := func(title string, a *tara.Analysis) {
+		tb := sim.NewTable(title,
+			"threat scenario", "asset", "impact", "feasibility", "risk", "decision", "control")
+		for _, r := range a.Worksheet() {
+			tb.AddRow(r.Scenario, r.Asset, r.Impact.String(), r.Feasibility.String(), int(r.Risk), r.Decision, r.Treatment)
+		}
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+
+	before, err := tara.BuildVehicleTARA(false)
+	if err != nil {
+		return "", err
+	}
+	render("§VI — TARA worksheet, untreated vehicle", before)
+
+	after, err := tara.BuildVehicleTARA(true)
+	if err != nil {
+		return "", err
+	}
+	render("after applying the framework's controls", after)
+
+	sumRisk := func(a *tara.Analysis) int {
+		total := 0
+		for _, r := range a.Worksheet() {
+			total += int(r.Risk)
+		}
+		return total
+	}
+	fmt.Fprintf(&b, "aggregate risk %d → %d; mandatory reductions remaining: %d → %d\n",
+		sumRisk(before), sumRisk(after),
+		len(before.ResidualAboveThreshold(3)), len(after.ResidualAboveThreshold(3)))
+	_ = seed
+	return b.String(), nil
+}
+
+// RunAblateIDSThreshold sweeps the sender-identification match radius:
+// too tight and analog noise causes false positives on the legitimate
+// transmitter; too loose and masquerade frames slip through. The sweep
+// produces the detector's operating curve.
+func RunAblateIDSThreshold(seed int64) (string, error) {
+	rng := sim.NewRNG(seed)
+	const frames = 400
+
+	tb := sim.NewTable("ablation — sender-ID match radius (400 legit + 400 masquerade frames)",
+		"radius", "false-positive-rate", "miss-rate")
+	for _, radius := range []float64{0.02, 0.05, 0.10, 0.25, 0.50, 0.80, 1.20} {
+		s := ids.NewSenderIdentifier(rng.Fork())
+		s.MatchRadius = radius
+		s.Enroll(0x0C0, "engine")
+		s.KnowNode("infotainment")
+
+		fp, miss := 0, 0
+		for i := 0; i < frames; i++ {
+			legit := &canbus.Frame{ID: 0x0C0, Format: canbus.Classic, Payload: []byte{1}, SourceID: "engine"}
+			if a := s.Observe(sim.Time(i), legit); a != nil {
+				fp++
+			}
+			masq := &canbus.Frame{ID: 0x0C0, Format: canbus.Classic, Payload: []byte{1}, SourceID: "infotainment"}
+			if a := s.Observe(sim.Time(i), masq); a == nil {
+				miss++
+			}
+		}
+		tb.AddRow(radius, float64(fp)/frames, float64(miss)/frames)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	b.WriteString("\ntight radii drown in analog measurement noise (false positives on the legitimate sender);\n")
+	b.WriteString("the default 0.25 sits on the flat part of the curve. Misses would appear once the radius\n")
+	b.WriteString("reaches the distance between the two nodes' signatures — for this well-separated pair the\n")
+	b.WriteString("whole swept range stays miss-free, which is exactly why analog fingerprints work as an IDS.\n")
+	return b.String(), nil
+}

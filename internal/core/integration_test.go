@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"autosec/internal/collab"
+	"autosec/internal/sim"
+	"autosec/internal/v2x"
+	"autosec/internal/world"
+)
+
+// TestCrossLayerMisbehaviourToRevocation exercises the full §VII-B
+// pipeline across packages: an insider fabricates objects in
+// collaborative perception (collab), the redundancy-based trust tracker
+// identifies it, the V2X authority resolves the pseudonym to the
+// enrolled vehicle and revokes its whole pseudonym batch (v2x), after
+// which the fleet rejects all its messages — the paper's "comprehensive
+// intrusion detection" requirement realized end to end.
+func TestCrossLayerMisbehaviourToRevocation(t *testing.T) {
+	rng := sim.NewRNG(99)
+
+	// V2X identity layer.
+	authSeed := make([]byte, 32)
+	rng.Bytes(authSeed)
+	authority, err := v2x.NewAuthority(authSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := &v2x.Verifier{Root: authority.PublicKey(), IsRevoked: authority.Revoked, MaxAge: 60}
+
+	// Fleet of four, each with a pseudonym.
+	w := world.New()
+	members := map[string]*collab.Participant{}
+	pseudonyms := map[string]*v2x.Pseudonym{}
+	for i, x := range []float64{0, 20, 40, 60} {
+		id := fmt.Sprintf("av-%d", i+1)
+		if err := w.Add(&world.Actor{ID: id, Pos: world.Vec2{X: x}, Radius: 1}); err != nil {
+			t.Fatal(err)
+		}
+		members[id] = &collab.Participant{ID: id, SensorRange: 50, NoiseStd: 0.1}
+		authority.Enroll(id)
+		ps, err := authority.IssuePseudonyms(id, 1, 0, 3600, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pseudonyms[id] = ps[0]
+	}
+	if err := w.Add(&world.Actor{ID: "ped", Pos: world.Vec2{X: 30, Y: 4}, Radius: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// av-2 goes rogue: fabricates a ghost while holding valid
+	// credentials.
+	fake := world.Vec2{X: 35}
+	members["av-2"].Fabricate = &fake
+
+	// Rounds: members broadcast signed object lists; receivers verify
+	// the envelope (v2x) and fuse with redundancy (collab); the trust
+	// tracker accumulates misbehaviour evidence.
+	tracker := collab.NewTrustTracker()
+	cfg := collab.FusionConfig{RequireAuth: true, RedundancyK: 2}
+	ts := int64(1)
+	round := func() []collab.Message {
+		var msgs []collab.Message
+		for id, p := range members {
+			if tracker.Excluded(id) {
+				continue
+			}
+			env, err := v2x.Sign(pseudonyms[id], w.Get(id).Pos, 0, ts, []byte("object-list"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			authenticated := verifier.Verify(env, ts) == nil
+			m := p.Share(w, rng)
+			m.Authenticated = authenticated
+			msgs = append(msgs, m)
+		}
+		ts++
+		return msgs
+	}
+
+	rounds := 0
+	for !tracker.Excluded("av-2") && rounds < 50 {
+		msgs := round()
+		tracker.Observe(w, msgs, members, cfg)
+		rounds++
+	}
+	if rounds >= 50 {
+		t.Fatal("trust tracker never excluded the fabricator")
+	}
+
+	// Collaboration layer hands the verdict to the identity layer:
+	// resolve the fabricator's pseudonym, revoke the vehicle.
+	vehicle, err := authority.Resolve(pseudonyms["av-2"].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vehicle != "av-2" {
+		t.Fatalf("pseudonym resolved to %q", vehicle)
+	}
+	if n := authority.RevokeVehicle(vehicle); n == 0 {
+		t.Fatal("no pseudonyms revoked")
+	}
+
+	// From now on the rogue's envelope fails verification fleet-wide.
+	env, err := v2x.Sign(pseudonyms["av-2"], w.Get("av-2").Pos, 0, ts, []byte("object-list"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verifier.Verify(env, ts) == nil {
+		t.Error("revoked vehicle's message still verifies")
+	}
+	// And honest members are untouched.
+	envOK, err := v2x.Sign(pseudonyms["av-1"], w.Get("av-1").Pos, 0, ts, []byte("object-list"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Verify(envOK, ts); err != nil {
+		t.Errorf("honest member's message rejected: %v", err)
+	}
+
+	// Final fusion without the rogue: the pedestrian is still seen, no
+	// fakes.
+	var msgs []collab.Message
+	for id, p := range members {
+		if id == "av-2" {
+			continue // isolated
+		}
+		m := p.Share(w, rng)
+		msgs = append(msgs, m)
+	}
+	out := collab.Fuse(w, msgs, members, cfg)
+	if out.FakeCount != 0 {
+		t.Errorf("%d fakes after isolation", out.FakeCount)
+	}
+	found := false
+	for _, ob := range out.Accepted {
+		if ob.TruthID == "ped" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pedestrian lost after isolating the rogue")
+	}
+}

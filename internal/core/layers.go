@@ -1,0 +1,352 @@
+// Package core implements the paper's primary contribution: the layered
+// security framework of Fig. 1. It models the six abstraction layers of
+// an autonomous system (physical, network, software & platform, data,
+// system of systems, collaboration), a catalog of assets, threats, and
+// defences drawn from §II–§VII, cross-layer attack-path analysis, and
+// the holistic posture assessment of §VIII — including the paper's
+// synergy requirement that "security measures implemented at different
+// layers will not be effective unless they are designed to work in
+// synergy with one another".
+//
+// The package also hosts the experiment registry that regenerates every
+// figure and table of the paper from the substrate simulations.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layer is one abstraction layer of Fig. 1.
+type Layer int
+
+const (
+	Physical Layer = iota
+	Network
+	SoftwarePlatform
+	Data
+	SystemOfSystems
+	Collaboration
+	layerCount
+)
+
+// Layers returns all layers bottom-up.
+func Layers() []Layer {
+	out := make([]Layer, layerCount)
+	for i := range out {
+		out[i] = Layer(i)
+	}
+	return out
+}
+
+func (l Layer) String() string {
+	switch l {
+	case Physical:
+		return "physical"
+	case Network:
+		return "network"
+	case SoftwarePlatform:
+		return "software-platform"
+	case Data:
+		return "data"
+	case SystemOfSystems:
+		return "system-of-systems"
+	case Collaboration:
+		return "collaboration"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Threat is one attack class from the paper.
+type Threat struct {
+	ID    string
+	Layer Layer
+	Name  string
+	// Enables lists threats this one makes possible once realized —
+	// the cross-layer escalation edges.
+	Enables []string
+	// SafetyImpact marks threats that directly endanger people.
+	SafetyImpact bool
+	// Section cites the paper section describing it.
+	Section string
+}
+
+// Defence is one countermeasure from the paper.
+type Defence struct {
+	ID    string
+	Layer Layer
+	Name  string
+	// Mitigates lists threat IDs this defence addresses.
+	Mitigates []string
+	// Requires lists defences that must also be deployed for this one
+	// to be effective (the synergy dependency).
+	Requires []string
+	Section  string
+}
+
+// Catalog is the full threat/defence model.
+type Catalog struct {
+	threats  map[string]*Threat
+	defences map[string]*Defence
+	tOrder   []string
+	dOrder   []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{threats: map[string]*Threat{}, defences: map[string]*Defence{}}
+}
+
+// AddThreat registers a threat.
+func (c *Catalog) AddThreat(t *Threat) error {
+	if t.ID == "" {
+		return fmt.Errorf("core: threat needs an ID")
+	}
+	if _, dup := c.threats[t.ID]; dup {
+		return fmt.Errorf("core: duplicate threat %s", t.ID)
+	}
+	c.threats[t.ID] = t
+	c.tOrder = append(c.tOrder, t.ID)
+	return nil
+}
+
+// AddDefence registers a defence; its mitigation targets must exist.
+func (c *Catalog) AddDefence(d *Defence) error {
+	if d.ID == "" {
+		return fmt.Errorf("core: defence needs an ID")
+	}
+	if _, dup := c.defences[d.ID]; dup {
+		return fmt.Errorf("core: duplicate defence %s", d.ID)
+	}
+	for _, tid := range d.Mitigates {
+		if _, ok := c.threats[tid]; !ok {
+			return fmt.Errorf("core: defence %s mitigates unknown threat %s", d.ID, tid)
+		}
+	}
+	c.defences[d.ID] = d
+	c.dOrder = append(c.dOrder, d.ID)
+	return nil
+}
+
+// Threat returns a threat by ID (nil if absent).
+func (c *Catalog) Threat(id string) *Threat { return c.threats[id] }
+
+// Defence returns a defence by ID (nil if absent).
+func (c *Catalog) Defence(id string) *Defence { return c.defences[id] }
+
+// Threats returns all threats in insertion order.
+func (c *Catalog) Threats() []*Threat {
+	out := make([]*Threat, 0, len(c.tOrder))
+	for _, id := range c.tOrder {
+		out = append(out, c.threats[id])
+	}
+	return out
+}
+
+// Defences returns all defences in insertion order.
+func (c *Catalog) Defences() []*Defence {
+	out := make([]*Defence, 0, len(c.dOrder))
+	for _, id := range c.dOrder {
+		out = append(out, c.defences[id])
+	}
+	return out
+}
+
+// ThreatsAt returns the threats of one layer.
+func (c *Catalog) ThreatsAt(l Layer) []*Threat {
+	var out []*Threat
+	for _, t := range c.Threats() {
+		if t.Layer == l {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Validate checks referential integrity of Enables/Requires edges.
+func (c *Catalog) Validate() error {
+	for _, t := range c.Threats() {
+		for _, e := range t.Enables {
+			if _, ok := c.threats[e]; !ok {
+				return fmt.Errorf("core: threat %s enables unknown %s", t.ID, e)
+			}
+		}
+	}
+	for _, d := range c.Defences() {
+		for _, r := range d.Requires {
+			if _, ok := c.defences[r]; !ok {
+				return fmt.Errorf("core: defence %s requires unknown %s", d.ID, r)
+			}
+		}
+	}
+	return nil
+}
+
+// Posture is a deployment: the set of deployed defence IDs.
+type Posture struct {
+	catalog  *Catalog
+	deployed map[string]bool
+}
+
+// NewPosture starts with nothing deployed.
+func NewPosture(c *Catalog) *Posture {
+	return &Posture{catalog: c, deployed: map[string]bool{}}
+}
+
+// Deploy marks a defence as present.
+func (p *Posture) Deploy(ids ...string) error {
+	for _, id := range ids {
+		if p.catalog.Defence(id) == nil {
+			return fmt.Errorf("core: unknown defence %s", id)
+		}
+		p.deployed[id] = true
+	}
+	return nil
+}
+
+// Effective reports whether a defence is deployed *and* all its synergy
+// dependencies are effective too.
+func (p *Posture) Effective(id string) bool {
+	return p.effective(id, map[string]bool{})
+}
+
+func (p *Posture) effective(id string, visiting map[string]bool) bool {
+	if !p.deployed[id] || visiting[id] {
+		return false
+	}
+	visiting[id] = true
+	defer delete(visiting, id)
+	for _, req := range p.catalog.Defence(id).Requires {
+		if !p.effective(req, visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mitigated reports whether the threat is covered: either an effective
+// defence addresses it directly, or it is a pure consequence threat —
+// one only reachable through Enables edges — and every threat enabling
+// it is itself mitigated (cutting all paths that could realize it).
+func (p *Posture) Mitigated(threatID string) bool {
+	return p.mitigated(threatID, map[string]bool{})
+}
+
+func (p *Posture) mitigated(threatID string, visiting map[string]bool) bool {
+	for _, d := range p.catalog.Defences() {
+		if !p.Effective(d.ID) {
+			continue
+		}
+		for _, tid := range d.Mitigates {
+			if tid == threatID {
+				return true
+			}
+		}
+	}
+	if visiting[threatID] {
+		return false
+	}
+	visiting[threatID] = true
+	defer delete(visiting, threatID)
+	enablers := 0
+	for _, t := range p.catalog.Threats() {
+		for _, e := range t.Enables {
+			if e != threatID {
+				continue
+			}
+			enablers++
+			if !p.mitigated(t.ID, visiting) {
+				return false
+			}
+		}
+	}
+	return enablers > 0 // entry threats need a direct defence
+}
+
+// Coverage summarizes one layer's residual risk.
+type Coverage struct {
+	Layer     Layer
+	Threats   int
+	Mitigated int
+}
+
+// CoverageByLayer computes per-layer threat coverage.
+func (p *Posture) CoverageByLayer() []Coverage {
+	out := make([]Coverage, layerCount)
+	for i := range out {
+		out[i].Layer = Layer(i)
+	}
+	for _, t := range p.catalog.Threats() {
+		out[t.Layer].Threats++
+		if p.Mitigated(t.ID) {
+			out[t.Layer].Mitigated++
+		}
+	}
+	return out
+}
+
+// AttackPath is a chain of unmitigated threats ending in safety impact.
+type AttackPath []string
+
+func (a AttackPath) String() string { return strings.Join(a, " → ") }
+
+// AttackPaths finds every path through *unmitigated* threats from any
+// unmitigated entry threat to a safety-impact threat, following Enables
+// edges. This is the cross-layer analysis of §VIII: a defence gap at one
+// layer opens paths that traverse others.
+func (p *Posture) AttackPaths() []AttackPath {
+	var paths []AttackPath
+	var walk func(id string, trail []string)
+	walk = func(id string, trail []string) {
+		t := p.catalog.Threat(id)
+		if p.Mitigated(id) {
+			return
+		}
+		trail = append(append([]string(nil), trail...), id)
+		if t.SafetyImpact {
+			paths = append(paths, AttackPath(trail))
+		}
+		for _, next := range t.Enables {
+			seen := false
+			for _, prev := range trail {
+				if prev == next {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				walk(next, trail)
+			}
+		}
+	}
+	// Entry threats: those not enabled by any other threat.
+	enabled := map[string]bool{}
+	for _, t := range p.catalog.Threats() {
+		for _, e := range t.Enables {
+			enabled[e] = true
+		}
+	}
+	for _, t := range p.catalog.Threats() {
+		if !enabled[t.ID] {
+			walk(t.ID, nil)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool { return paths[i].String() < paths[j].String() })
+	return paths
+}
+
+// IneffectiveDeployments lists defences that are deployed but not
+// effective because a synergy dependency is missing — the concrete form
+// of the paper's "will not be effective unless ... in synergy".
+func (p *Posture) IneffectiveDeployments() []string {
+	var out []string
+	for id := range p.deployed {
+		if !p.Effective(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func catalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := DefaultCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultCatalogCoversAllLayers(t *testing.T) {
+	c := catalog(t)
+	for _, l := range Layers() {
+		if len(c.ThreatsAt(l)) == 0 {
+			t.Errorf("layer %v has no threats", l)
+		}
+	}
+	if len(c.Threats()) < 20 {
+		t.Errorf("only %d threats", len(c.Threats()))
+	}
+	if len(c.Defences()) < 20 {
+		t.Errorf("only %d defences", len(c.Defences()))
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	c := NewCatalog()
+	if err := c.AddThreat(&Threat{}); err == nil {
+		t.Error("empty threat ID accepted")
+	}
+	if err := c.AddThreat(&Threat{ID: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddThreat(&Threat{ID: "t1"}); err == nil {
+		t.Error("duplicate threat accepted")
+	}
+	if err := c.AddDefence(&Defence{ID: "d1", Mitigates: []string{"missing"}}); err == nil {
+		t.Error("defence against unknown threat accepted")
+	}
+	if err := c.AddDefence(&Defence{}); err == nil {
+		t.Error("empty defence ID accepted")
+	}
+	_ = c.AddThreat(&Threat{ID: "t2", Enables: []string{"ghost"}})
+	if err := c.Validate(); err == nil {
+		t.Error("dangling Enables edge passed validation")
+	}
+}
+
+func TestFullDeploymentMitigatesEverything(t *testing.T) {
+	c := catalog(t)
+	p, err := FullDeployment(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threat := range c.Threats() {
+		if !p.Mitigated(threat.ID) {
+			t.Errorf("threat %s unmitigated under full deployment", threat.ID)
+		}
+	}
+	if paths := p.AttackPaths(); len(paths) != 0 {
+		t.Errorf("full deployment leaves %d attack paths, e.g. %s", len(paths), paths[0])
+	}
+	if bad := p.IneffectiveDeployments(); len(bad) != 0 {
+		t.Errorf("ineffective deployments: %v", bad)
+	}
+}
+
+func TestEmptyPostureHasSafetyPaths(t *testing.T) {
+	c := catalog(t)
+	p := NewPosture(c)
+	paths := p.AttackPaths()
+	if len(paths) == 0 {
+		t.Fatal("undefended system shows no attack paths")
+	}
+	// The CARIAD-style chain must appear: enumeration → heap dump →
+	// key leak → fleet exfiltration.
+	found := false
+	for _, path := range paths {
+		if strings.Contains(path.String(), "T-dir-enum → T-heapdump → T-key-leak → T-fleet-exfil") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("data-layer kill chain not found in attack paths")
+	}
+}
+
+func TestSynergyDependencyDisablesDefence(t *testing.T) {
+	c := catalog(t)
+	p := NewPosture(c)
+	// SECOC without key management is deployed but ineffective — the
+	// §VIII synergy point.
+	if err := p.Deploy("D-secoc"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Effective("D-secoc") {
+		t.Error("SECOC effective without key management")
+	}
+	if p.Mitigated("T-masquerade") {
+		t.Error("masquerade mitigated by an ineffective defence")
+	}
+	if got := p.IneffectiveDeployments(); len(got) != 1 || got[0] != "D-secoc" {
+		t.Errorf("ineffective = %v", got)
+	}
+	if err := p.Deploy("D-key-mgmt"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Effective("D-secoc") {
+		t.Error("SECOC still ineffective with its dependency met")
+	}
+	if !p.Mitigated("T-masquerade") {
+		t.Error("masquerade not mitigated")
+	}
+}
+
+func TestTransitiveSynergy(t *testing.T) {
+	c := catalog(t)
+	p := NewPosture(c)
+	// D-misbehaviour requires D-v2x-auth which requires D-key-mgmt.
+	if err := p.Deploy("D-misbehaviour", "D-v2x-auth"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Effective("D-misbehaviour") {
+		t.Error("transitive dependency ignored")
+	}
+	if err := p.Deploy("D-key-mgmt"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Effective("D-misbehaviour") {
+		t.Error("misbehaviour detection ineffective with full chain deployed")
+	}
+}
+
+func TestCoverageByLayer(t *testing.T) {
+	c := catalog(t)
+	p := NewPosture(c)
+	// Full data-layer hardening: D-secret-sharing needs key management
+	// (software-platform layer), which is exactly the cross-layer
+	// synergy the framework must surface.
+	if err := p.Deploy("D-no-debug", "D-secret-store", "D-least-priv", "D-minimize", "D-enum-defence",
+		"D-secret-sharing", "D-key-mgmt"); err != nil {
+		t.Fatal(err)
+	}
+	cov := p.CoverageByLayer()
+	if len(cov) != int(layerCount) {
+		t.Fatalf("%d layers", len(cov))
+	}
+	dataCov := cov[Data]
+	if dataCov.Mitigated != dataCov.Threats {
+		t.Errorf("data layer %d/%d after full data hardening", dataCov.Mitigated, dataCov.Threats)
+	}
+	if cov[Physical].Mitigated != 0 {
+		t.Errorf("physical layer mitigated %d with no physical defences", cov[Physical].Mitigated)
+	}
+}
+
+func TestSingleLayerHardeningLeavesCrossLayerPaths(t *testing.T) {
+	// The paper's core argument: hardening one layer is not enough.
+	c := catalog(t)
+	p := NewPosture(c)
+	if err := p.Deploy("D-no-debug", "D-secret-store", "D-least-priv", "D-minimize", "D-enum-defence"); err != nil {
+		t.Fatal(err)
+	}
+	paths := p.AttackPaths()
+	if len(paths) == 0 {
+		t.Fatal("data-layer-only hardening closed every attack path (it must not)")
+	}
+	crossLayer := false
+	for _, path := range paths {
+		layers := map[Layer]bool{}
+		for _, id := range path {
+			layers[c.Threat(id).Layer] = true
+		}
+		if len(layers) > 1 {
+			crossLayer = true
+		}
+	}
+	if !crossLayer {
+		t.Error("no cross-layer path found")
+	}
+}
+
+func TestDeployUnknownDefence(t *testing.T) {
+	p := NewPosture(catalog(t))
+	if err := p.Deploy("D-nonexistent"); err == nil {
+		t.Error("unknown defence deployed")
+	}
+}
+
+func TestLayerStrings(t *testing.T) {
+	for _, l := range Layers() {
+		if strings.HasPrefix(l.String(), "Layer(") {
+			t.Errorf("layer %d unnamed", int(l))
+		}
+	}
+	if len(Layers()) != 6 {
+		t.Errorf("%d layers, want 6", len(Layers()))
+	}
+}

@@ -1,0 +1,26 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the Ethernet frame decoder.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Frame{Dst: MAC{1}, Src: MAC{2}, EtherType: EtherTypeApp, Payload: []byte("x")}).Marshal())
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		round, err := Unmarshal(fr.Marshal())
+		if err != nil {
+			t.Fatalf("accepted frame failed round trip: %v", err)
+		}
+		if round.Dst != fr.Dst || round.EtherType != fr.EtherType || !bytes.Equal(round.Payload, fr.Payload) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

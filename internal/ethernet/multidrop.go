@@ -1,0 +1,168 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"autosec/internal/sim"
+)
+
+// Multidrop is a 10BASE-T1S segment (IEEE 802.3cg): several endpoints
+// share one 10 Mbit/s single-pair bus. PLCA (Physical Layer Collision
+// Avoidance) hands out transmit opportunities round-robin by node index,
+// so access latency is bounded and deterministic — but, like CAN, the
+// medium is a broadcast wire with no sender authentication, which is why
+// the paper pairs it with MACsec in scenarios S2/S3.
+type Multidrop struct {
+	name    string
+	bps     int64
+	kernel  *sim.Kernel
+	nodes   []Port
+	queues  [][]*Frame
+	cycling bool
+	taps    []func(f *Frame)
+	// BeaconNs is the per-node transmit-opportunity overhead when a
+	// node has nothing to send (the PLCA silence slot).
+	BeaconNs int64
+}
+
+// NewMultidrop creates an empty 10BASE-T1S segment.
+func NewMultidrop(name string, k *sim.Kernel) *Multidrop {
+	return &Multidrop{name: name, bps: 10_000_000, kernel: k, BeaconNs: 2000}
+}
+
+// Attach adds a node; its PLCA ID is its attach order.
+func (m *Multidrop) Attach(p Port) int {
+	m.nodes = append(m.nodes, p)
+	m.queues = append(m.queues, nil)
+	return len(m.nodes) - 1
+}
+
+// Tap registers a frame observer.
+func (m *Multidrop) Tap(fn func(f *Frame)) { m.taps = append(m.taps, fn) }
+
+// Send queues a frame from the node with the given PLCA id.
+func (m *Multidrop) Send(plcaID int, f *Frame) error {
+	if plcaID < 0 || plcaID >= len(m.nodes) {
+		return fmt.Errorf("ethernet: plca id %d out of range", plcaID)
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	m.queues[plcaID] = append(m.queues[plcaID], f.Clone())
+	if !m.cycling {
+		m.cycling = true
+		m.kernel.After(0, "t1s/"+m.name+"/cycle", func(k *sim.Kernel) { m.cycle(k, 0) })
+	}
+	return nil
+}
+
+// cycle runs PLCA transmit opportunities starting at node idx.
+func (m *Multidrop) cycle(k *sim.Kernel, idx int) {
+	// Stop when all queues are drained.
+	empty := true
+	for _, q := range m.queues {
+		if len(q) > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		m.cycling = false
+		return
+	}
+	next := (idx + 1) % len(m.nodes)
+	if len(m.queues[idx]) == 0 {
+		// Silent transmit opportunity: just the beacon delay.
+		k.After(sim.Time(m.BeaconNs), "t1s/"+m.name+"/to", func(k *sim.Kernel) { m.cycle(k, next) })
+		return
+	}
+	f := m.queues[idx][0]
+	m.queues[idx] = m.queues[idx][1:]
+	dur := sim.Time(int64(f.WireBytes()*8) * int64(sim.Second) / m.bps)
+	sender := m.nodes[idx].PortMAC()
+	k.After(dur, "t1s/"+m.name+"/deliver", func(k *sim.Kernel) {
+		k.Metrics().Inc("t1s."+m.name+".frames", 1)
+		k.Metrics().Inc("t1s."+m.name+".bytes", int64(f.WireBytes()))
+		for _, tap := range m.taps {
+			tap(f)
+		}
+		for i, n := range m.nodes {
+			if n.PortMAC() == sender && i == idx {
+				continue
+			}
+			n.Receive(k, f)
+		}
+		m.cycle(k, next)
+	})
+}
+
+// Switch is a learning Ethernet switch connecting point-to-point links.
+// Each attached port is one switch interface; the switch learns source
+// MACs and forwards to the learned port, flooding unknowns.
+type Switch struct {
+	name   string
+	kernel *sim.Kernel
+	ports  []*switchPort
+	table  map[MAC]int
+}
+
+type switchPort struct {
+	sw   *Switch
+	idx  int
+	mac  MAC
+	peer *Link
+}
+
+func (p *switchPort) PortMAC() MAC { return p.mac }
+
+func (p *switchPort) Receive(k *sim.Kernel, f *Frame) {
+	p.sw.forward(k, p.idx, f)
+}
+
+// NewSwitch creates a switch.
+func NewSwitch(name string, k *sim.Kernel) *Switch {
+	return &Switch{name: name, kernel: k, table: make(map[MAC]int)}
+}
+
+// AddPort creates a new switch interface with the given MAC and returns
+// it; connect it to a Link.
+func (s *Switch) AddPort(mac MAC) Port {
+	p := &switchPort{sw: s, idx: len(s.ports), mac: mac}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// BindLink tells the switch which link serves the i-th port.
+func (s *Switch) BindLink(portIndex int, l *Link) error {
+	if portIndex < 0 || portIndex >= len(s.ports) {
+		return fmt.Errorf("ethernet: switch port %d out of range", portIndex)
+	}
+	s.ports[portIndex].peer = l
+	return nil
+}
+
+func (s *Switch) forward(k *sim.Kernel, inPort int, f *Frame) {
+	s.table[f.Src] = inPort
+	k.Metrics().Inc("switch."+s.name+".forwarded", 1)
+	if out, ok := s.table[f.Dst]; ok && f.Dst != Broadcast {
+		s.transmit(out, f)
+		return
+	}
+	for i := range s.ports {
+		if i != inPort {
+			s.transmit(i, f)
+		}
+	}
+}
+
+func (s *Switch) transmit(portIndex int, f *Frame) {
+	p := s.ports[portIndex]
+	if p.peer == nil {
+		return
+	}
+	// Errors here mean an unbound or mis-wired topology; surface them
+	// in metrics rather than silently dropping.
+	if err := p.peer.Send(p.mac, f); err != nil {
+		s.kernel.Metrics().Inc("switch."+s.name+".txerror", 1)
+	}
+}

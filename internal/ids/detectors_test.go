@@ -1,0 +1,138 @@
+package ids
+
+import (
+	"testing"
+
+	"autosec/internal/canbus"
+	"autosec/internal/sim"
+)
+
+func structuredPayload(i int) []byte {
+	// Counter + slowly varying "physical" value: low entropy.
+	return []byte{byte(i), byte(i >> 8), 0x10, 0x27, byte(40 + i%3), 0, 0, 0}
+}
+
+func TestEntropyDetectorFlagsFuzzing(t *testing.T) {
+	d := NewEntropyDetector()
+	rng := sim.NewRNG(1)
+	now := sim.Time(0)
+	// Training on structured payloads.
+	for i := 0; i < 200; i++ {
+		now += sim.Millisecond
+		f := &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: structuredPayload(i)}
+		if a := d.Observe(now, f); a != nil {
+			t.Fatalf("alert in training: %+v", a)
+		}
+	}
+	d.EndTraining()
+	// Normal traffic stays quiet.
+	for i := 0; i < 100; i++ {
+		now += sim.Millisecond
+		f := &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: structuredPayload(i)}
+		if a := d.Observe(now, f); a != nil {
+			t.Fatalf("false positive on structured payload: %+v", a)
+		}
+	}
+	// Fuzzing campaign: uniform random payloads.
+	alerted := false
+	for i := 0; i < 100; i++ {
+		now += sim.Millisecond
+		p := make([]byte, 8)
+		rng.Bytes(p)
+		f := &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: p}
+		if a := d.Observe(now, f); a != nil {
+			alerted = true
+			if a.Detector != "entropy" {
+				t.Errorf("detector %q", a.Detector)
+			}
+		}
+	}
+	if !alerted {
+		t.Error("random-payload campaign never flagged")
+	}
+}
+
+func TestEntropyDetectorIgnoresUntrainedIDs(t *testing.T) {
+	d := NewEntropyDetector()
+	d.EndTraining()
+	rng := sim.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		p := make([]byte, 8)
+		rng.Bytes(p)
+		if a := d.Observe(sim.Time(i), &canbus.Frame{ID: 0x7FF, Format: canbus.Classic, Payload: p}); a != nil {
+			t.Fatal("entropy detector alerted on an ID it has no baseline for")
+		}
+	}
+}
+
+func TestByteEntropyBounds(t *testing.T) {
+	if e := byteEntropy(nil); e != 0 {
+		t.Errorf("empty entropy %v", e)
+	}
+	same := make([]byte, 256)
+	if e := byteEntropy(same); e != 0 {
+		t.Errorf("constant entropy %v", e)
+	}
+	uniform := make([]byte, 256)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	if e := byteEntropy(uniform); e < 7.99 || e > 8.01 {
+		t.Errorf("uniform entropy %v, want 8", e)
+	}
+}
+
+func TestLoadDetectorFlagsFlood(t *testing.T) {
+	d := NewLoadDetector()
+	now := sim.Time(0)
+	f := &canbus.Frame{ID: 0x200, Format: canbus.Classic, Payload: []byte{1}}
+	// Training: 1 frame per ms = 10 per window.
+	for i := 0; i < 500; i++ {
+		now += sim.Millisecond
+		if a := d.Observe(now, f); a != nil {
+			t.Fatalf("alert during training: %+v", a)
+		}
+	}
+	d.EndTraining()
+	// Normal load stays quiet.
+	for i := 0; i < 200; i++ {
+		now += sim.Millisecond
+		if a := d.Observe(now, f); a != nil {
+			t.Fatalf("false positive at learned rate: %+v", a)
+		}
+	}
+	// Flood: 10 frames per ms.
+	alerted := false
+	for i := 0; i < 2000; i++ {
+		now += sim.Millisecond / 10
+		if a := d.Observe(now, f); a != nil {
+			alerted = true
+			if a.Detector != "busload" {
+				t.Errorf("detector %q", a.Detector)
+			}
+			break
+		}
+	}
+	if !alerted {
+		t.Error("10× flood never flagged")
+	}
+}
+
+func TestLoadDetectorHandlesIdleGaps(t *testing.T) {
+	d := NewLoadDetector()
+	f := &canbus.Frame{ID: 0x200, Format: canbus.Classic, Payload: []byte{1}}
+	now := sim.Time(sim.Millisecond)
+	for i := 0; i < 100; i++ {
+		now += sim.Millisecond
+		d.Observe(now, f)
+	}
+	d.EndTraining()
+	// A long silence then normal traffic must not alert.
+	now += 5 * sim.Second
+	for i := 0; i < 100; i++ {
+		now += sim.Millisecond
+		if a := d.Observe(now, f); a != nil {
+			t.Fatalf("false positive after idle gap: %+v", a)
+		}
+	}
+}

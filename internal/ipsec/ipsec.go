@@ -1,0 +1,105 @@
+// Package ipsec implements an ESP-style network-layer tunnel for
+// Table I's IPsec row: security associations identified by SPI, 32-bit
+// sequence numbers with a sliding anti-replay window, and AES-GCM
+// protection of the encapsulated inner packet (tunnel mode). As with
+// package tlslite, the goal is a faithful protocol *shape* — header
+// overhead, SA state, replay semantics — for the IVN comparisons, not
+// an RFC 4303 implementation.
+package ipsec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"autosec/internal/vcrypto"
+)
+
+// Overhead is the bytes ESP adds: SPI(4) + Seq(4) + ICV/tag(16).
+const Overhead = 8 + 16
+
+// SA is one direction of a security association.
+type SA struct {
+	SPI     uint32
+	key     []byte
+	sendSeq uint32
+
+	recvHigh uint32
+	window   uint64
+	// WindowSize is the anti-replay window (default 64, RFC minimum 32).
+	WindowSize uint32
+}
+
+// NewSA creates a security association with the given 16- or 32-byte
+// key.
+func NewSA(spi uint32, key []byte) (*SA, error) {
+	if len(key) != 16 && len(key) != 32 {
+		return nil, fmt.Errorf("ipsec: key must be 16 or 32 bytes, got %d", len(key))
+	}
+	return &SA{SPI: spi, key: append([]byte(nil), key...), WindowSize: 64}, nil
+}
+
+// Encapsulate protects an inner packet into an ESP packet.
+func (sa *SA) Encapsulate(inner []byte) ([]byte, error) {
+	if sa.sendSeq == ^uint32(0) {
+		return nil, fmt.Errorf("ipsec: sequence space exhausted; rekey the SA")
+	}
+	sa.sendSeq++
+	hdr := make([]byte, 8)
+	binary.BigEndian.PutUint32(hdr[0:4], sa.SPI)
+	binary.BigEndian.PutUint32(hdr[4:8], sa.sendSeq)
+	ct, err := vcrypto.GCMSeal(sa.key, uint64(sa.SPI), sa.sendSeq, hdr, inner)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, ct...), nil
+}
+
+// Decapsulate verifies an ESP packet and returns the inner packet.
+func (sa *SA) Decapsulate(pkt []byte) ([]byte, error) {
+	if len(pkt) < Overhead {
+		return nil, fmt.Errorf("ipsec: packet shorter than ESP overhead")
+	}
+	spi := binary.BigEndian.Uint32(pkt[0:4])
+	seq := binary.BigEndian.Uint32(pkt[4:8])
+	if spi != sa.SPI {
+		return nil, fmt.Errorf("ipsec: SPI %#x does not match SA %#x", spi, sa.SPI)
+	}
+	if !sa.replayOK(seq) {
+		return nil, fmt.Errorf("ipsec: anti-replay rejected seq %d", seq)
+	}
+	inner, err := vcrypto.GCMOpen(sa.key, uint64(sa.SPI), seq, pkt[:8], pkt[8:])
+	if err != nil {
+		return nil, err
+	}
+	sa.markSeen(seq)
+	return inner, nil
+}
+
+func (sa *SA) replayOK(seq uint32) bool {
+	if seq == 0 {
+		return false
+	}
+	if seq > sa.recvHigh {
+		return true
+	}
+	diff := sa.recvHigh - seq
+	if diff >= sa.WindowSize || diff >= 64 {
+		return false
+	}
+	return sa.window&(1<<diff) == 0
+}
+
+func (sa *SA) markSeen(seq uint32) {
+	if seq > sa.recvHigh {
+		shift := seq - sa.recvHigh
+		if shift >= 64 {
+			sa.window = 0
+		} else {
+			sa.window <<= shift
+		}
+		sa.window |= 1
+		sa.recvHigh = seq
+		return
+	}
+	sa.window |= 1 << (sa.recvHigh - seq)
+}

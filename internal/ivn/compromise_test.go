@@ -1,0 +1,58 @@
+package ivn
+
+import (
+	"testing"
+)
+
+func TestZCCompromiseOutcomes(t *testing.T) {
+	results, err := RunZCCompromise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CompromiseResult{}
+	for _, r := range results {
+		byName[r.Scenario] = r
+	}
+
+	// S1: SECOC is auth-only → payload readable at the ZC; the e2e MAC
+	// stops forgery.
+	s1 := byName["S1"]
+	if !s1.PlaintextVisible {
+		t.Error("S1: SECOC is authentication-only; the ZC must see plaintext")
+	}
+	if s1.ForgeryAccepted {
+		t.Error("S1: ZC forged an end-to-end authenticated payload")
+	}
+
+	// S2-p2p: the ZC owns both hops → total compromise.
+	s2p := byName["S2-p2p"]
+	if !s2p.PlaintextVisible || !s2p.ForgeryAccepted {
+		t.Errorf("S2-p2p compromised ZC should read AND forge: %+v", s2p)
+	}
+
+	// e2e designs: the ZC can do neither.
+	for _, name := range []string{"S2-e2e", "S3"} {
+		r := byName[name]
+		if r.PlaintextVisible {
+			t.Errorf("%s: plaintext visible to a keyless ZC", name)
+		}
+		if r.ForgeryAccepted {
+			t.Errorf("%s: forgery accepted from a keyless ZC", name)
+		}
+		if r.KeysAtZC != 0 {
+			t.Errorf("%s: keys at ZC = %d", name, r.KeysAtZC)
+		}
+	}
+}
+
+func TestCompromiseResultString(t *testing.T) {
+	results, err := RunZCCompromise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.String() == "" {
+			t.Error("empty report line")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package ivn
+
+import (
+	"testing"
+)
+
+func TestScalingShapes(t *testing.T) {
+	rows, err := Scaling(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ScalingRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	// S1: ZC keys constant; CC keys grow with endpoints.
+	if byName["S1"].KeysZC != 2 || byName["S1"].KeysCC != 65 {
+		t.Errorf("S1 keys: %+v", byName["S1"])
+	}
+	// S2-p2p: key burden concentrates at the ZC.
+	if byName["S2-p2p"].KeysZC != 65 || byName["S2-p2p"].KeysCC != 1 {
+		t.Errorf("S2-p2p keys: %+v", byName["S2-p2p"])
+	}
+	// e2e variants leave the ZC keyless and op-free.
+	for _, name := range []string{"S2-e2e", "S3"} {
+		if byName[name].KeysZC != 0 || byName[name].OpsZCPerMsg != 0 {
+			t.Errorf("%s not keyless at ZC: %+v", name, byName[name])
+		}
+	}
+	// S3 pays adaptation bytes over S2-e2e.
+	if byName["S3"].BytesPerMsg <= byName["S2-e2e"].BytesPerMsg {
+		t.Errorf("S3 bytes %d not above S2-e2e %d", byName["S3"].BytesPerMsg, byName["S2-e2e"].BytesPerMsg)
+	}
+	// SECOC's overhead is small: S1 total per-message bytes stay below
+	// S3's (auth-only + hop MACsec vs e2e MACsec + CANAL).
+	if byName["S1"].BytesPerMsg >= byName["S3"].BytesPerMsg {
+		t.Errorf("S1 bytes %d vs S3 %d", byName["S1"].BytesPerMsg, byName["S3"].BytesPerMsg)
+	}
+}
+
+func TestScalingMonotoneInEndpoints(t *testing.T) {
+	small, err := Scaling(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Scaling(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		if big[i].KeysZC < small[i].KeysZC || big[i].KeysCC < small[i].KeysCC {
+			t.Errorf("%s keys shrank with scale", small[i].Scenario)
+		}
+		if big[i].BytesPerMsg != small[i].BytesPerMsg {
+			t.Errorf("%s per-message bytes depend on fleet size", small[i].Scenario)
+		}
+	}
+}
+
+func TestScalingValidation(t *testing.T) {
+	if _, err := Scaling(0, 4); err == nil {
+		t.Error("zero endpoints accepted")
+	}
+}

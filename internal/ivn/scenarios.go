@@ -1,0 +1,626 @@
+package ivn
+
+import (
+	"fmt"
+
+	"autosec/internal/canal"
+	"autosec/internal/canbus"
+	"autosec/internal/ethernet"
+	"autosec/internal/macsec"
+	"autosec/internal/secoc"
+	"autosec/internal/sim"
+)
+
+// attackSeqBase marks attacker-originated sequence numbers so the
+// central computer can classify what its security stack let through.
+const attackSeqBase = uint32(1) << 31
+
+// RunBaseline builds the Fig. 3 topology with *no* security stack: raw
+// CAN into a zone-controller gateway, raw Ethernet to the central
+// computer. Every masquerade and replay succeeds — the starting point
+// the paper's Table I protocols exist to fix.
+func RunBaseline(cfg Config) (Result, error) {
+	k := sim.NewKernel(cfg.Seed)
+	res := Result{Scenario: "baseline", Sent: cfg.Messages}
+	tracker := newFlowTracker()
+
+	bus := canbus.NewBus("zone-l", canRates, k)
+
+	var zcToCC *ethernet.Link
+	cc := &ethernet.PortFunc{MAC: ccMAC, Fn: func(k *sim.Kernel, f *ethernet.Frame) {
+		cf, err := canbus.Unmarshal(f.Payload)
+		if err != nil {
+			return
+		}
+		seq, ok := seqOf(cf.Payload)
+		if !ok {
+			return
+		}
+		switch {
+		case seq >= attackSeqBase:
+			res.ForgeriesAccepted++
+		case tracker.received[seq]:
+			res.ReplaysAccepted++
+		default:
+			tracker.delivered(seq, k.Now(), len(cf.Payload))
+		}
+	}}
+
+	zcUp := &ethernet.PortFunc{MAC: zcUpMAC}
+	zcToCC = ethernet.NewLink("zc-cc", backbone, k, zcUp, cc)
+
+	// Zone controller: plain gateway CAN → Ethernet.
+	zc := &canbus.NodeFunc{ID: "zc", Fn: func(k *sim.Kernel, f *canbus.Frame) {
+		ef := &ethernet.Frame{Dst: ccMAC, Src: zcUpMAC, EtherType: ethernet.EtherTypeApp, Payload: f.Marshal()}
+		_ = zcToCC.Send(zcUpMAC, ef)
+	}}
+	bus.Attach(zc)
+	bus.Attach(&canbus.NodeFunc{ID: "ecu-1"})
+	bus.Attach(&canbus.NodeFunc{ID: "attacker"})
+
+	// Legitimate periodic flow.
+	var captured []*canbus.Frame
+	bus.Tap(func(f *canbus.Frame) {
+		if f.SourceID == "ecu-1" && len(captured) < cfg.Replays {
+			captured = append(captured, f.Clone())
+		}
+	})
+	period := sim.Time(cfg.PeriodUs) * sim.Microsecond
+	for i := 0; i < cfg.Messages; i++ {
+		seq := uint32(i + 1)
+		k.Schedule(period*sim.Time(i+1), "ecu-send", func(k *sim.Kernel) {
+			tracker.sent(seq, k.Now())
+			_ = bus.Send("ecu-1", &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: payloadWithSeq(seq, cfg.PayloadBytes)})
+		})
+	}
+	// Masquerade: attacker uses the same identifier; without
+	// authentication the gateway and CC cannot tell.
+	for i := 0; i < cfg.Forgeries; i++ {
+		seq := attackSeqBase + uint32(i)
+		k.Schedule(period*sim.Time(i+1)+37*sim.Microsecond, "attack-forge", func(k *sim.Kernel) {
+			res.ForgeriesAttempted++
+			_ = bus.Send("attacker", &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: payloadWithSeq(seq, cfg.PayloadBytes)})
+		})
+	}
+	// Replays after the legitimate flow finishes.
+	replayStart := period * sim.Time(cfg.Messages+2)
+	for i := 0; i < cfg.Replays; i++ {
+		i := i
+		k.Schedule(replayStart+period*sim.Time(i+1), "attack-replay", func(k *sim.Kernel) {
+			if i < len(captured) {
+				res.ReplaysAttempted++
+				_ = bus.Send("attacker", captured[i].Clone())
+			}
+		})
+	}
+
+	if err := k.Run(0); err != nil {
+		return res, err
+	}
+	finalize(&res, k, tracker)
+	return res, nil
+}
+
+// RunS1 implements Fig. 4: SECOC protects the PDU end-to-end
+// (ECU→central computer) while MACsec protects the zone-controller↔CC
+// Ethernet hop. The zone controller carries MACsec session keys and
+// performs security processing per message — the S1 costs the paper
+// lists — and SECOC provides authenticity only.
+func RunS1(cfg Config) (Result, error) {
+	k := sim.NewKernel(cfg.Seed)
+	res := Result{Scenario: "S1", Sent: cfg.Messages}
+	tracker := newFlowTracker()
+
+	secocCfg := secoc.DefaultConfig(0x0100)
+	sender, err := secoc.NewSender(secocCfg, secocKey)
+	if err != nil {
+		return res, err
+	}
+	receiver, err := secoc.NewReceiver(secocCfg, secocKey)
+	if err != nil {
+		return res, err
+	}
+	forger, err := secoc.NewSender(secocCfg, wrongKey)
+	if err != nil {
+		return res, err
+	}
+
+	sciZC := macsec.SCIFromMAC(zcUpMAC, 1)
+	sciCC := macsec.SCIFromMAC(ccMAC, 1)
+	zcSecY, err := macsec.NewSecY(macsec.Confidential, sciZC, hopSAKcc, 0)
+	if err != nil {
+		return res, err
+	}
+	ccSecY, err := macsec.NewSecY(macsec.Confidential, sciCC, hopSAKcc, 0)
+	if err != nil {
+		return res, err
+	}
+	if err := ccSecY.AddPeer(sciZC, hopSAKcc, 0); err != nil {
+		return res, err
+	}
+	if err := zcSecY.AddPeer(sciCC, hopSAKcc, 0); err != nil {
+		return res, err
+	}
+	res.KeysAtZC = 2 // MACsec SAK + the CAK it was agreed from
+
+	bus := canbus.NewBus("zone-l", canRates, k)
+
+	var zcToCC *ethernet.Link
+	cc := &ethernet.PortFunc{MAC: ccMAC, Fn: func(k *sim.Kernel, f *ethernet.Frame) {
+		inner, err := ccSecY.Verify(f)
+		if err != nil {
+			return // hop protection rejected the frame
+		}
+		cf, err := canbus.Unmarshal(inner.Payload)
+		if err != nil {
+			return
+		}
+		payload, err := receiver.Verify(cf.Payload)
+		if err != nil {
+			return // SECOC rejected: forgery or replay
+		}
+		seq, ok := seqOf(payload)
+		if !ok {
+			return
+		}
+		switch {
+		case seq >= attackSeqBase:
+			res.ForgeriesAccepted++
+		case tracker.received[seq]:
+			res.ReplaysAccepted++
+		default:
+			tracker.delivered(seq, k.Now(), len(payload))
+		}
+	}}
+	zcUp := &ethernet.PortFunc{MAC: zcUpMAC}
+	zcToCC = ethernet.NewLink("zc-cc", backbone, k, zcUp, cc)
+
+	zc := &canbus.NodeFunc{ID: "zc", Fn: func(k *sim.Kernel, f *canbus.Frame) {
+		ef := &ethernet.Frame{Dst: ccMAC, Src: zcUpMAC, EtherType: ethernet.EtherTypeApp, Payload: f.Marshal()}
+		sec, err := zcSecY.Protect(ef)
+		if err != nil {
+			return
+		}
+		res.CryptoOpsAtZC++
+		_ = zcToCC.Send(zcUpMAC, sec)
+	}}
+	bus.Attach(zc)
+	bus.Attach(&canbus.NodeFunc{ID: "ecu-1"})
+	bus.Attach(&canbus.NodeFunc{ID: "attacker"})
+
+	var captured []*canbus.Frame
+	bus.Tap(func(f *canbus.Frame) {
+		if f.SourceID == "ecu-1" && len(captured) < cfg.Replays {
+			captured = append(captured, f.Clone())
+		}
+	})
+
+	period := sim.Time(cfg.PeriodUs) * sim.Microsecond
+	for i := 0; i < cfg.Messages; i++ {
+		seq := uint32(i + 1)
+		k.Schedule(period*sim.Time(i+1), "ecu-send", func(k *sim.Kernel) {
+			pdu, err := sender.Protect(payloadWithSeq(seq, cfg.PayloadBytes))
+			if err != nil {
+				return
+			}
+			tracker.sent(seq, k.Now())
+			_ = bus.Send("ecu-1", &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: pdu})
+		})
+	}
+	for i := 0; i < cfg.Forgeries; i++ {
+		seq := attackSeqBase + uint32(i)
+		k.Schedule(period*sim.Time(i+1)+37*sim.Microsecond, "attack-forge", func(k *sim.Kernel) {
+			pdu, err := forger.Protect(payloadWithSeq(seq, cfg.PayloadBytes))
+			if err != nil {
+				return
+			}
+			res.ForgeriesAttempted++
+			_ = bus.Send("attacker", &canbus.Frame{ID: 0x100, Format: canbus.Classic, Payload: pdu})
+		})
+	}
+	replayStart := period * sim.Time(cfg.Messages+2)
+	for i := 0; i < cfg.Replays; i++ {
+		i := i
+		k.Schedule(replayStart+period*sim.Time(i+1), "attack-replay", func(k *sim.Kernel) {
+			if i < len(captured) {
+				res.ReplaysAttempted++
+				_ = bus.Send("attacker", captured[i].Clone())
+			}
+		})
+	}
+
+	if err := k.Run(0); err != nil {
+		return res, err
+	}
+	finalize(&res, k, tracker)
+	return res, nil
+}
+
+// S2Mode selects end-to-end (Fig. 5 ①) or point-to-point (Fig. 5 ②)
+// MACsec deployment.
+type S2Mode int
+
+const (
+	// S2EndToEnd runs one MACsec channel endpoint↔CC; the zone
+	// controller forwards ciphertext and stores no keys.
+	S2EndToEnd S2Mode = iota
+	// S2PointToPoint runs MACsec per hop; the zone controller verifies
+	// and re-protects every frame and stores a key per hop.
+	S2PointToPoint
+)
+
+// RunS2 implements Fig. 5: a homogeneous Ethernet path — endpoint on a
+// 10BASE-T1S multidrop segment, zone controller, central computer.
+func RunS2(cfg Config, mode S2Mode) (Result, error) {
+	k := sim.NewKernel(cfg.Seed)
+	name := "S2-e2e"
+	if mode == S2PointToPoint {
+		name = "S2-p2p"
+	}
+	res := Result{Scenario: name, Sent: cfg.Messages}
+	tracker := newFlowTracker()
+
+	sciEP := macsec.SCIFromMAC(epMAC, 1)
+	sciZC := macsec.SCIFromMAC(zcUpMAC, 1)
+	sciAtt := macsec.SCIFromMAC(attMAC, 1)
+
+	var epSecY, zcDownSecY, zcUpSecY, ccSecY *macsec.SecY
+	var err error
+	switch mode {
+	case S2EndToEnd:
+		if epSecY, err = macsec.NewSecY(macsec.Confidential, sciEP, e2eSAK, 0); err != nil {
+			return res, err
+		}
+		if ccSecY, err = macsec.NewSecY(macsec.Confidential, macsec.SCIFromMAC(ccMAC, 1), e2eSAK, 0); err != nil {
+			return res, err
+		}
+		if err = ccSecY.AddPeer(sciEP, e2eSAK, 0); err != nil {
+			return res, err
+		}
+		res.KeysAtZC = 0
+	case S2PointToPoint:
+		if epSecY, err = macsec.NewSecY(macsec.Confidential, sciEP, hopSAKzc, 0); err != nil {
+			return res, err
+		}
+		if zcDownSecY, err = macsec.NewSecY(macsec.Confidential, sciZC, hopSAKzc, 0); err != nil {
+			return res, err
+		}
+		if err = zcDownSecY.AddPeer(sciEP, hopSAKzc, 0); err != nil {
+			return res, err
+		}
+		if zcUpSecY, err = macsec.NewSecY(macsec.Confidential, sciZC, hopSAKcc, 0); err != nil {
+			return res, err
+		}
+		if ccSecY, err = macsec.NewSecY(macsec.Confidential, macsec.SCIFromMAC(ccMAC, 1), hopSAKcc, 0); err != nil {
+			return res, err
+		}
+		if err = ccSecY.AddPeer(sciZC, hopSAKcc, 0); err != nil {
+			return res, err
+		}
+		res.KeysAtZC = 2
+	}
+
+	attSecY, err := macsec.NewSecY(macsec.Confidential, sciAtt, wrongSAK, 0)
+	if err != nil {
+		return res, err
+	}
+
+	classify := func(k *sim.Kernel, inner *ethernet.Frame) {
+		seq, ok := seqOf(inner.Payload)
+		if !ok {
+			return
+		}
+		switch {
+		case seq >= attackSeqBase:
+			res.ForgeriesAccepted++
+		case tracker.received[seq]:
+			res.ReplaysAccepted++
+		default:
+			tracker.delivered(seq, k.Now(), len(inner.Payload))
+		}
+	}
+
+	var zcToCC *ethernet.Link
+	cc := &ethernet.PortFunc{MAC: ccMAC, Fn: func(k *sim.Kernel, f *ethernet.Frame) {
+		inner, err := ccSecY.Verify(f)
+		if err != nil {
+			return
+		}
+		classify(k, inner)
+	}}
+	zcUpPort := &ethernet.PortFunc{MAC: zcUpMAC}
+	zcToCC = ethernet.NewLink("zc-cc", backbone, k, zcUpPort, cc)
+
+	seg := ethernet.NewMultidrop("zone-r", k)
+	zcDown := &ethernet.PortFunc{MAC: zcMAC, Fn: func(k *sim.Kernel, f *ethernet.Frame) {
+		switch mode {
+		case S2EndToEnd:
+			// Forward ciphertext unchanged; the paper notes this also
+			// means the intermediate cannot rewrite header fields.
+			fwd := f.Clone()
+			_ = zcToCC.Send(zcUpMAC, fwd)
+		case S2PointToPoint:
+			inner, err := zcDownSecY.Verify(f)
+			if err != nil {
+				return
+			}
+			res.CryptoOpsAtZC++
+			up := &ethernet.Frame{Dst: ccMAC, Src: zcUpMAC, EtherType: inner.EtherType, Payload: inner.Payload}
+			sec, err := zcUpSecY.Protect(up)
+			if err != nil {
+				return
+			}
+			res.CryptoOpsAtZC++
+			_ = zcToCC.Send(zcUpMAC, sec)
+		}
+	}}
+	seg.Attach(zcDown)
+	epID := seg.Attach(&ethernet.PortFunc{MAC: epMAC})
+	attID := seg.Attach(&ethernet.PortFunc{MAC: attMAC})
+
+	var captured []*ethernet.Frame
+	seg.Tap(func(f *ethernet.Frame) {
+		if f.Src == epMAC && len(captured) < cfg.Replays {
+			captured = append(captured, f.Clone())
+		}
+	})
+
+	period := sim.Time(cfg.PeriodUs) * sim.Microsecond
+	for i := 0; i < cfg.Messages; i++ {
+		seq := uint32(i + 1)
+		k.Schedule(period*sim.Time(i+1), "ep-send", func(k *sim.Kernel) {
+			f := &ethernet.Frame{Dst: ccMAC, Src: epMAC, EtherType: ethernet.EtherTypeApp, Payload: payloadWithSeq(seq, cfg.PayloadBytes)}
+			sec, err := epSecY.Protect(f)
+			if err != nil {
+				return
+			}
+			tracker.sent(seq, k.Now())
+			_ = seg.Send(epID, sec)
+		})
+	}
+	for i := 0; i < cfg.Forgeries; i++ {
+		seq := attackSeqBase + uint32(i)
+		k.Schedule(period*sim.Time(i+1)+23*sim.Microsecond, "attack-forge", func(k *sim.Kernel) {
+			f := &ethernet.Frame{Dst: ccMAC, Src: attMAC, EtherType: ethernet.EtherTypeApp, Payload: payloadWithSeq(seq, cfg.PayloadBytes)}
+			sec, err := attSecY.Protect(f)
+			if err != nil {
+				return
+			}
+			res.ForgeriesAttempted++
+			_ = seg.Send(attID, sec)
+		})
+	}
+	replayStart := period * sim.Time(cfg.Messages+2)
+	for i := 0; i < cfg.Replays; i++ {
+		i := i
+		k.Schedule(replayStart+period*sim.Time(i+1), "attack-replay", func(k *sim.Kernel) {
+			if i < len(captured) {
+				res.ReplaysAttempted++
+				_ = seg.Send(attID, captured[i].Clone())
+			}
+		})
+	}
+
+	if err := k.Run(0); err != nil {
+		return res, err
+	}
+	finalize(&res, k, tracker)
+	return res, nil
+}
+
+// RunS3 implements Fig. 6: the endpoint sits on CAN XL, but MACsec and
+// MKA run end-to-end between the endpoint and the central computer
+// through the CAN Adaptation Layer. The zone controller reassembles and
+// forwards tunnelled Ethernet frames without holding any keys.
+func RunS3(cfg Config) (Result, error) {
+	k := sim.NewKernel(cfg.Seed)
+	res := Result{Scenario: "S3", Sent: cfg.Messages}
+	tracker := newFlowTracker()
+
+	// --- MKA over the tunnel establishes the end-to-end SAK. ---
+	ccPart, err := macsec.NewParticipant("cc", "canal-ca", linkCAK, 1)
+	if err != nil {
+		return res, err
+	}
+	ecuPart, err := macsec.NewParticipant("ecu", "canal-ca", linkCAK, 10)
+	if err != nil {
+		return res, err
+	}
+
+	sciECU := macsec.SCIFromMAC(ecuMAC, 1)
+	sciCC := macsec.SCIFromMAC(ccMAC, 1)
+	var ecuSecY, ccSecY *macsec.SecY
+
+	// Adapters: one per tunnel endpoint plus the ZC's two gateways.
+	ecuAdapter := canal.NewAdapter(1, canbus.XL, 0x180)
+	zcUpAdapter := canal.NewAdapter(1, canbus.XL, 0x180)   // reassembles ECU→CC
+	zcDownAdapter := canal.NewAdapter(1, canbus.XL, 0x181) // segments CC→ECU
+	ecuDownAdapter := canal.NewAdapter(1, canbus.XL, 0x181)
+	attAdapter := canal.NewAdapter(1, canbus.XL, 0x180)
+
+	attSecY, err := macsec.NewSecY(macsec.Confidential, macsec.SCIFromMAC(attMAC, 1), wrongSAK, 0)
+	if err != nil {
+		return res, err
+	}
+
+	bus := canbus.NewBus("zone-xl", xlRates, k)
+
+	classify := func(k *sim.Kernel, inner *ethernet.Frame) {
+		seq, ok := seqOf(inner.Payload)
+		if !ok {
+			return
+		}
+		switch {
+		case seq >= attackSeqBase:
+			res.ForgeriesAccepted++
+		case tracker.received[seq]:
+			res.ReplaysAccepted++
+		default:
+			tracker.delivered(seq, k.Now(), len(inner.Payload))
+		}
+	}
+
+	var zcToCC *ethernet.Link
+	cc := &ethernet.PortFunc{MAC: ccMAC, Fn: func(k *sim.Kernel, f *ethernet.Frame) {
+		if f.EtherType != ethernet.EtherTypeMACsec {
+			return
+		}
+		if ccSecY == nil {
+			return
+		}
+		inner, err := ccSecY.Verify(f)
+		if err != nil {
+			return
+		}
+		classify(k, inner)
+	}}
+	zcUpPort := &ethernet.PortFunc{MAC: zcUpMAC, Fn: func(k *sim.Kernel, f *ethernet.Frame) {
+		// CC → ECU direction: segment into the tunnel.
+		segs, err := zcDownAdapter.Segment(f)
+		if err != nil {
+			return
+		}
+		for _, s := range segs {
+			_ = bus.Send("zc", s)
+		}
+	}}
+	zcToCC = ethernet.NewLink("zc-cc", backbone, k, zcUpPort, cc)
+
+	// Zone controller on the CAN XL bus: reassemble uplink tunnels.
+	zcNode := &canbus.NodeFunc{ID: "zc", Fn: func(k *sim.Kernel, f *canbus.Frame) {
+		ef, err := zcUpAdapter.Accept(f)
+		if err != nil || ef == nil {
+			return
+		}
+		_ = zcToCC.Send(zcUpMAC, ef)
+	}}
+	bus.Attach(zcNode)
+
+	// ECU node: receives downlink tunnel segments (MKA distribution).
+	ecuNode := &canbus.NodeFunc{ID: "ecu-1", Fn: func(k *sim.Kernel, f *canbus.Frame) {
+		ef, err := ecuDownAdapter.Accept(f)
+		if err != nil || ef == nil {
+			return
+		}
+		if ef.EtherType == ethernet.EtherTypeMKA {
+			pdu, err := macsec.UnmarshalMKPDU(ef.Payload)
+			if err != nil {
+				return
+			}
+			if err := ecuPart.AcceptSAK(pdu); err != nil {
+				return
+			}
+			ecuSecY, err = macsec.NewSecY(macsec.Confidential, sciECU, ecuPart.SAK(), 0)
+			if err != nil {
+				return
+			}
+			_ = ecuSecY.AddPeer(sciCC, ecuPart.SAK(), 0)
+		}
+	}}
+	bus.Attach(ecuNode)
+	bus.Attach(&canbus.NodeFunc{ID: "attacker"})
+
+	var captured []*canbus.Frame
+	bus.Tap(func(f *canbus.Frame) {
+		if f.SourceID == "ecu-1" && len(captured) < cfg.Replays {
+			captured = append(captured, f.Clone())
+		}
+	})
+
+	// Key server distributes the SAK at t=0 through the tunnel.
+	k.Schedule(0, "mka-distribute", func(k *sim.Kernel) {
+		pdu, err := ccPart.DistributeSAK(1)
+		if err != nil {
+			return
+		}
+		var mkErr error
+		ccSecY, mkErr = macsec.NewSecY(macsec.Confidential, sciCC, ccPart.SAK(), 0)
+		if mkErr != nil {
+			return
+		}
+		_ = ccSecY.AddPeer(sciECU, ccPart.SAK(), 0)
+		ef := &ethernet.Frame{Dst: ecuMAC, Src: ccMAC, EtherType: ethernet.EtherTypeMKA, Payload: pdu.Marshal()}
+		// CC reaches the zone through its link; the link callback
+		// segments into the downlink tunnel.
+		_ = zcToCC.Send(ccMAC, ef)
+	})
+
+	period := sim.Time(cfg.PeriodUs) * sim.Microsecond
+	for i := 0; i < cfg.Messages; i++ {
+		seq := uint32(i + 1)
+		k.Schedule(period*sim.Time(i+1), "ecu-send", func(k *sim.Kernel) {
+			if ecuSecY == nil {
+				return // SAK not yet installed
+			}
+			f := &ethernet.Frame{Dst: ccMAC, Src: ecuMAC, EtherType: ethernet.EtherTypeApp, Payload: payloadWithSeq(seq, cfg.PayloadBytes)}
+			sec, err := ecuSecY.Protect(f)
+			if err != nil {
+				return
+			}
+			segs, err := ecuAdapter.Segment(sec)
+			if err != nil {
+				return
+			}
+			tracker.sent(seq, k.Now())
+			for _, s := range segs {
+				_ = bus.Send("ecu-1", s)
+			}
+		})
+	}
+	for i := 0; i < cfg.Forgeries; i++ {
+		seq := attackSeqBase + uint32(i)
+		k.Schedule(period*sim.Time(i+1)+23*sim.Microsecond, "attack-forge", func(k *sim.Kernel) {
+			f := &ethernet.Frame{Dst: ccMAC, Src: attMAC, EtherType: ethernet.EtherTypeApp, Payload: payloadWithSeq(seq, cfg.PayloadBytes)}
+			sec, err := attSecY.Protect(f)
+			if err != nil {
+				return
+			}
+			segs, err := attAdapter.Segment(sec)
+			if err != nil {
+				return
+			}
+			res.ForgeriesAttempted++
+			for _, s := range segs {
+				_ = bus.Send("attacker", s)
+			}
+		})
+	}
+	replayStart := period * sim.Time(cfg.Messages+2)
+	for i := 0; i < cfg.Replays; i++ {
+		i := i
+		k.Schedule(replayStart+period*sim.Time(i+1), "attack-replay", func(k *sim.Kernel) {
+			if i < len(captured) {
+				res.ReplaysAttempted++
+				_ = bus.Send("attacker", captured[i].Clone())
+			}
+		})
+	}
+
+	if err := k.Run(0); err != nil {
+		return res, err
+	}
+	finalize(&res, k, tracker)
+	res.KeysAtZC = 0 // end-to-end: the gateway never sees a key
+	return res, nil
+}
+
+// RunAll executes baseline, S1, S2 (both modes), and S3 with the same
+// workload and returns the results in presentation order.
+func RunAll(cfg Config) ([]Result, error) {
+	var out []Result
+	runners := []func(Config) (Result, error){
+		RunBaseline,
+		RunS1,
+		func(c Config) (Result, error) { return RunS2(c, S2EndToEnd) },
+		func(c Config) (Result, error) { return RunS2(c, S2PointToPoint) },
+		RunS3,
+	}
+	for _, run := range runners {
+		r, err := run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("ivn: %s: %w", r.Scenario, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

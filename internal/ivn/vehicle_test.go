@@ -1,0 +1,79 @@
+package ivn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullVehicleAllFlowsDeliver(t *testing.T) {
+	cfg := Config{Seed: 3, Messages: 50, PeriodUs: 500, PayloadBytes: 4, Forgeries: 20}
+	res, err := RunFullVehicle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 3 {
+		t.Fatalf("%d flows", len(res.Flows))
+	}
+	for _, f := range res.Flows {
+		if f.Sent != 50 {
+			t.Errorf("%s sent %d", f.Name, f.Sent)
+		}
+		if f.Delivered != 50 {
+			t.Errorf("%s delivered %d/%d", f.Name, f.Delivered, f.Sent)
+		}
+		if f.P50Us <= 0 {
+			t.Errorf("%s latency not recorded", f.Name)
+		}
+	}
+}
+
+func TestFullVehicleBlocksConcurrentAttacksOnBothZones(t *testing.T) {
+	cfg := Config{Seed: 3, Messages: 50, PeriodUs: 500, PayloadBytes: 4, Forgeries: 25}
+	res, err := RunFullVehicle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForgeriesAttempted != 50 { // 25 per zone
+		t.Errorf("attempted %d, want 50", res.ForgeriesAttempted)
+	}
+	if res.ForgeriesAccepted != 0 {
+		t.Errorf("accepted %d forgeries", res.ForgeriesAccepted)
+	}
+}
+
+func TestFullVehicleCrossZoneLatencyHigherThanLocal(t *testing.T) {
+	cfg := Config{Seed: 5, Messages: 50, PeriodUs: 500, PayloadBytes: 4}
+	res, err := RunFullVehicle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canLat, crossLat float64
+	for _, f := range res.Flows {
+		if strings.HasPrefix(f.Name, "ecu1") {
+			canLat = f.P50Us
+		}
+		if strings.HasPrefix(f.Name, "ecu2") {
+			crossLat = f.P50Us
+		}
+	}
+	// The cross-zone flow traverses CAN + two Ethernet links + the T1S
+	// segment: strictly more hops than the CAN→CC flow.
+	if crossLat <= canLat {
+		t.Errorf("cross-zone p50 %.1f µs not above single-zone %.1f µs", crossLat, canLat)
+	}
+}
+
+func TestFullVehicleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, Messages: 30, PeriodUs: 500, PayloadBytes: 4, Forgeries: 10}
+	a, err := RunFullVehicle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFullVehicle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed diverged:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,83 @@
+package ota
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+)
+
+// This file models the secure-boot chain of trust that anchors §IV-A's
+// "system integrity for reconfiguration: ensuring that only trusted
+// software and firmware can run": an immutable boot ROM holds the root
+// public key and verifies the bootloader, which verifies the
+// application; each stage refuses to hand over control to an
+// unverified successor, so a persistent implant must break a signature,
+// not just write flash.
+
+// BootStage is one verified link in the chain.
+type BootStage struct {
+	Name  string
+	Image []byte
+	// Signature over sha256(Image) by the *previous* stage's signing
+	// authority.
+	Signature []byte
+	// NextKey is the public key this stage uses to verify its
+	// successor (embedded in the signed image, so it is itself
+	// authenticated).
+	NextKey ed25519.PublicKey
+}
+
+func stageDigest(name string, image []byte, nextKey ed25519.PublicKey) []byte {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write(image)
+	h.Write(nextKey)
+	return h.Sum(nil)
+}
+
+// BuildStage signs a stage with the authority key that the previous
+// stage trusts.
+func BuildStage(authority *Signer, name string, image []byte, nextKey ed25519.PublicKey) *BootStage {
+	s := &BootStage{Name: name, Image: append([]byte(nil), image...), NextKey: nextKey}
+	s.Signature = ed25519.Sign(authority.priv, stageDigest(name, s.Image, nextKey))
+	return s
+}
+
+// BootChain is the device's stored chain (mutable flash); the root key
+// is the immutable ROM anchor.
+type BootChain struct {
+	RootKey ed25519.PublicKey
+	Stages  []*BootStage
+}
+
+// BootResult reports how far the chain booted.
+type BootResult struct {
+	// Booted lists stage names that verified and ran, in order.
+	Booted []string
+	// HaltedAt is the first stage that failed verification ("" if the
+	// whole chain booted).
+	HaltedAt string
+	Err      error
+}
+
+// Complete reports whether every stage booted.
+func (r BootResult) Complete() bool { return r.HaltedAt == "" }
+
+// Boot walks the chain: each stage is verified with the key provided by
+// its predecessor (the ROM key for the first stage). Verification
+// failure halts the boot at that stage — a fail-stop, not fail-open.
+func (c *BootChain) Boot() BootResult {
+	var res BootResult
+	key := c.RootKey
+	for _, stage := range c.Stages {
+		if !ed25519.Verify(key, stageDigest(stage.Name, stage.Image, stage.NextKey), stage.Signature) {
+			res.HaltedAt = stage.Name
+			res.Err = fmt.Errorf("ota: boot stage %q failed verification", stage.Name)
+			return res
+		}
+		res.Booted = append(res.Booted, stage.Name)
+		key = stage.NextKey
+	}
+	return res
+}

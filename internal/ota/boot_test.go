@@ -1,0 +1,114 @@
+package ota
+
+import (
+	"testing"
+)
+
+func buildChain(t *testing.T) (*Signer, *Signer, *BootChain) {
+	t.Helper()
+	rom, err := NewSigner(seed(1)) // ROM-anchored root authority
+	if err != nil {
+		t.Fatal(err)
+	}
+	osVendor, err := NewSigner(seed(2)) // bootloader's key for the app
+	if err != nil {
+		t.Fatal(err)
+	}
+	bootloader := BuildStage(rom, "bootloader", []byte("u-boot 2025.01"), osVendor.PublicKey())
+	app := BuildStage(osVendor, "vehicle-os", []byte("vehicle os 4.2"), nil)
+	chain := &BootChain{RootKey: rom.PublicKey(), Stages: []*BootStage{bootloader, app}}
+	return rom, osVendor, chain
+}
+
+func TestChainBootsWhenIntact(t *testing.T) {
+	_, _, chain := buildChain(t)
+	res := chain.Boot()
+	if !res.Complete() {
+		t.Fatalf("halted at %q: %v", res.HaltedAt, res.Err)
+	}
+	if len(res.Booted) != 2 || res.Booted[0] != "bootloader" || res.Booted[1] != "vehicle-os" {
+		t.Errorf("boot order %v", res.Booted)
+	}
+}
+
+func TestTamperedAppHaltsAtApp(t *testing.T) {
+	_, _, chain := buildChain(t)
+	chain.Stages[1].Image = []byte("vehicle os 4.2 + implant")
+	res := chain.Boot()
+	if res.Complete() || res.HaltedAt != "vehicle-os" {
+		t.Errorf("result %+v", res)
+	}
+	// The bootloader still ran — the halt is exactly at the bad link.
+	if len(res.Booted) != 1 {
+		t.Errorf("booted %v", res.Booted)
+	}
+}
+
+func TestTamperedBootloaderHaltsImmediately(t *testing.T) {
+	_, _, chain := buildChain(t)
+	chain.Stages[0].Image = append(chain.Stages[0].Image, 0x90)
+	res := chain.Boot()
+	if res.Complete() || res.HaltedAt != "bootloader" || len(res.Booted) != 0 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestKeySubstitutionDetected(t *testing.T) {
+	// The implant re-signs the app with its own key and swaps NextKey
+	// in the bootloader stage — but NextKey is covered by the
+	// bootloader's signature from the ROM authority, so the swap breaks
+	// stage 1 verification.
+	_, _, chain := buildChain(t)
+	attacker, err := NewSigner(seed(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.Stages[0].NextKey = attacker.PublicKey()
+	chain.Stages[1] = BuildStage(attacker, "vehicle-os", []byte("evil os"), nil)
+	res := chain.Boot()
+	if res.Complete() {
+		t.Fatal("key-substitution chain booted")
+	}
+	if res.HaltedAt != "bootloader" {
+		t.Errorf("halted at %q, want bootloader (the NextKey swap breaks its signature)", res.HaltedAt)
+	}
+}
+
+func TestFullReSignRequiresRootKey(t *testing.T) {
+	// Even re-signing the whole chain fails without the ROM's private
+	// key: the root of trust is immutable hardware.
+	_, _, chain := buildChain(t)
+	attacker, err := NewSigner(seed(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain.Stages[0] = BuildStage(attacker, "bootloader", []byte("evil loader"), attacker.PublicKey())
+	chain.Stages[1] = BuildStage(attacker, "vehicle-os", []byte("evil os"), nil)
+	if chain.Boot().Complete() {
+		t.Fatal("attacker-signed chain booted against the ROM key")
+	}
+}
+
+func TestThreeStageChain(t *testing.T) {
+	rom, err := NewSigner(seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blVendor, err := NewSigner(seed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appVendor, err := NewSigner(seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := &BootChain{RootKey: rom.PublicKey(), Stages: []*BootStage{
+		BuildStage(rom, "spl", []byte("spl"), blVendor.PublicKey()),
+		BuildStage(blVendor, "bootloader", []byte("bl"), appVendor.PublicKey()),
+		BuildStage(appVendor, "app", []byte("app"), nil),
+	}}
+	res := chain.Boot()
+	if !res.Complete() || len(res.Booted) != 3 {
+		t.Errorf("three-stage boot: %+v", res)
+	}
+}

@@ -1,0 +1,163 @@
+// Package ota implements the over-the-air update pipeline that §IV-A's
+// reconfiguration story requires in practice: signed update manifests
+// with anti-rollback counters, image integrity by digest, A/B slot
+// installation, and health-checked commit with automatic rollback — the
+// mechanism that makes "software can be replaced, updated, or
+// reconfigured after production" survive both attackers and bad
+// releases.
+package ota
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Manifest describes one update.
+type Manifest struct {
+	Component string
+	Version   string
+	// Counter is the monotonic anti-rollback counter: devices refuse
+	// manifests whose counter does not exceed their installed one, so a
+	// signed-but-old (vulnerable) release cannot be replayed.
+	Counter   uint64
+	ImageHash [32]byte
+	Signature []byte
+}
+
+func (m *Manifest) tbs() []byte {
+	buf := make([]byte, 0, len(m.Component)+len(m.Version)+8+32)
+	buf = append(buf, m.Component...)
+	buf = append(buf, 0)
+	buf = append(buf, m.Version...)
+	buf = append(buf, 0)
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], m.Counter)
+	buf = append(buf, ctr[:]...)
+	buf = append(buf, m.ImageHash[:]...)
+	return buf
+}
+
+// Signer is the vendor's release-signing identity.
+type Signer struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewSigner derives a signer from a 32-byte seed.
+func NewSigner(seed []byte) (*Signer, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("ota: seed must be %d bytes", ed25519.SeedSize)
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Signer{pub: priv.Public().(ed25519.PublicKey), priv: priv}, nil
+}
+
+// PublicKey is the anchor provisioned into devices.
+func (s *Signer) PublicKey() ed25519.PublicKey { return s.pub }
+
+// Release builds and signs a manifest for an image.
+func (s *Signer) Release(component, version string, counter uint64, image []byte) *Manifest {
+	m := &Manifest{
+		Component: component,
+		Version:   version,
+		Counter:   counter,
+		ImageHash: sha256.Sum256(image),
+	}
+	m.Signature = ed25519.Sign(s.priv, m.tbs())
+	return m
+}
+
+// Slot is one of the device's two firmware banks.
+type Slot struct {
+	Version string
+	Counter uint64
+	Image   []byte
+	Valid   bool
+}
+
+// Device is the updatable ECU with A/B slots.
+type Device struct {
+	Component string
+	anchor    ed25519.PublicKey
+
+	slots   [2]Slot
+	active  int
+	pending bool // standby installed, awaiting health-checked boot
+	// Log records update lifecycle events.
+	Log []string
+}
+
+// NewDevice provisions a device running the given factory image.
+func NewDevice(component string, anchor ed25519.PublicKey, factory *Manifest, image []byte) (*Device, error) {
+	d := &Device{Component: component, anchor: anchor}
+	if err := d.verify(factory, image); err != nil {
+		return nil, fmt.Errorf("ota: factory image: %w", err)
+	}
+	d.slots[0] = Slot{Version: factory.Version, Counter: factory.Counter, Image: append([]byte(nil), image...), Valid: true}
+	d.active = 0
+	return d, nil
+}
+
+// ActiveVersion returns the running firmware version.
+func (d *Device) ActiveVersion() string { return d.slots[d.active].Version }
+
+// verify checks a manifest+image pair against the anchor and rollback
+// counter.
+func (d *Device) verify(m *Manifest, image []byte) error {
+	if m.Component != d.Component {
+		return fmt.Errorf("manifest for %q, device is %q", m.Component, d.Component)
+	}
+	if !ed25519.Verify(d.anchor, m.tbs(), m.Signature) {
+		return fmt.Errorf("manifest signature invalid")
+	}
+	if sha256.Sum256(image) != m.ImageHash {
+		return fmt.Errorf("image digest mismatch")
+	}
+	return nil
+}
+
+// Install verifies and stages an update into the standby slot. It does
+// not switch; Boot does, under a health check.
+func (d *Device) Install(m *Manifest, image []byte) error {
+	if err := d.verify(m, image); err != nil {
+		d.Log = append(d.Log, "REJECT install: "+err.Error())
+		return fmt.Errorf("ota: %w", err)
+	}
+	if m.Counter <= d.slots[d.active].Counter {
+		d.Log = append(d.Log, fmt.Sprintf("REJECT install: rollback (counter %d <= %d)", m.Counter, d.slots[d.active].Counter))
+		return fmt.Errorf("ota: anti-rollback: manifest counter %d not above installed %d", m.Counter, d.slots[d.active].Counter)
+	}
+	standby := 1 - d.active
+	d.slots[standby] = Slot{Version: m.Version, Counter: m.Counter, Image: append([]byte(nil), image...), Valid: true}
+	d.pending = true
+	d.Log = append(d.Log, fmt.Sprintf("STAGE %s (counter %d) in slot %d", m.Version, m.Counter, standby))
+	return nil
+}
+
+// Boot attempts to activate a pending update: it switches to the standby
+// slot and runs the health check. On failure it rolls back to the
+// previous slot and marks the bad slot invalid. It returns the running
+// version after the dust settles.
+func (d *Device) Boot(healthy func(image []byte) bool) string {
+	if !d.pending {
+		return d.ActiveVersion()
+	}
+	d.pending = false
+	previous := d.active
+	candidate := 1 - d.active
+	d.active = candidate
+	if healthy == nil || healthy(d.slots[candidate].Image) {
+		d.Log = append(d.Log, fmt.Sprintf("COMMIT %s", d.slots[candidate].Version))
+		return d.ActiveVersion()
+	}
+	// Watchdog rollback.
+	d.active = previous
+	d.slots[candidate].Valid = false
+	d.Log = append(d.Log, fmt.Sprintf("ROLLBACK to %s (health check failed)", d.slots[previous].Version))
+	return d.ActiveVersion()
+}
+
+// Pending reports whether a staged update awaits Boot.
+func (d *Device) Pending() bool { return d.pending }

@@ -1,0 +1,151 @@
+package ota
+
+import (
+	"strings"
+	"testing"
+)
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func fixture(t *testing.T) (*Signer, *Device) {
+	t.Helper()
+	signer, err := NewSigner(seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factoryImage := []byte("brake-ctrl firmware 1.0")
+	factory := signer.Release("brake-ctrl", "1.0", 1, factoryImage)
+	dev, err := NewDevice("brake-ctrl", signer.PublicKey(), factory, factoryImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signer, dev
+}
+
+func TestHappyPathUpdate(t *testing.T) {
+	signer, dev := fixture(t)
+	img := []byte("brake-ctrl firmware 2.0")
+	m := signer.Release("brake-ctrl", "2.0", 2, img)
+	if err := dev.Install(m, img); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Pending() {
+		t.Error("no pending update after install")
+	}
+	if got := dev.Boot(func([]byte) bool { return true }); got != "2.0" {
+		t.Errorf("running %s after commit", got)
+	}
+	if dev.Pending() {
+		t.Error("still pending after boot")
+	}
+}
+
+func TestForgedManifestRejected(t *testing.T) {
+	_, dev := fixture(t)
+	attacker, err := NewSigner(seed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := []byte("malware 6.6")
+	m := attacker.Release("brake-ctrl", "6.6", 99, img)
+	if err := dev.Install(m, img); err == nil {
+		t.Error("manifest from wrong signer accepted")
+	}
+	if dev.ActiveVersion() != "1.0" {
+		t.Error("device changed state")
+	}
+}
+
+func TestCorruptImageRejected(t *testing.T) {
+	signer, dev := fixture(t)
+	img := []byte("brake-ctrl firmware 2.0")
+	m := signer.Release("brake-ctrl", "2.0", 2, img)
+	corrupted := append([]byte(nil), img...)
+	corrupted[0] ^= 1
+	if err := dev.Install(m, corrupted); err == nil {
+		t.Error("corrupted image accepted")
+	}
+}
+
+func TestAntiRollback(t *testing.T) {
+	signer, dev := fixture(t)
+	// Update to 2.0 / counter 2.
+	img2 := []byte("fw 2.0")
+	if err := dev.Install(signer.Release("brake-ctrl", "2.0", 2, img2), img2); err != nil {
+		t.Fatal(err)
+	}
+	dev.Boot(nil)
+	// An old but *validly signed* 1.5 release with counter 1: the
+	// downgrade attack the counter exists to stop.
+	img15 := []byte("fw 1.5 (vulnerable)")
+	old := signer.Release("brake-ctrl", "1.5", 1, img15)
+	if err := dev.Install(old, img15); err == nil {
+		t.Error("rollback to older counter accepted")
+	}
+	// Equal counter also rejected.
+	img2b := []byte("fw 2.0b")
+	if err := dev.Install(signer.Release("brake-ctrl", "2.0b", 2, img2b), img2b); err == nil {
+		t.Error("equal counter accepted")
+	}
+}
+
+func TestWrongComponentRejected(t *testing.T) {
+	signer, dev := fixture(t)
+	img := []byte("climate fw")
+	m := signer.Release("climate-ctrl", "2.0", 2, img)
+	if err := dev.Install(m, img); err == nil {
+		t.Error("manifest for another component accepted")
+	}
+}
+
+func TestHealthCheckRollback(t *testing.T) {
+	signer, dev := fixture(t)
+	img := []byte("fw 2.0 that bootloops")
+	if err := dev.Install(signer.Release("brake-ctrl", "2.0", 2, img), img); err != nil {
+		t.Fatal(err)
+	}
+	got := dev.Boot(func(image []byte) bool { return false })
+	if got != "1.0" {
+		t.Errorf("running %s after failed health check, want 1.0", got)
+	}
+	logged := strings.Join(dev.Log, "\n")
+	if !strings.Contains(logged, "ROLLBACK") {
+		t.Errorf("rollback not logged:\n%s", logged)
+	}
+	// Recovery: a fixed release with a higher counter installs fine.
+	img3 := []byte("fw 2.1 fixed")
+	if err := dev.Install(signer.Release("brake-ctrl", "2.1", 3, img3), img3); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Boot(func([]byte) bool { return true }); got != "2.1" {
+		t.Errorf("running %s after fixed release", got)
+	}
+}
+
+func TestBootWithoutPendingIsNoOp(t *testing.T) {
+	_, dev := fixture(t)
+	if got := dev.Boot(nil); got != "1.0" {
+		t.Errorf("idle boot changed version to %s", got)
+	}
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	signer, err := NewSigner(seed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := []byte("fw")
+	m := signer.Release("c", "1.0", 1, img)
+	if _, err := NewDevice("c", signer.PublicKey(), m, []byte("other")); err == nil {
+		t.Error("factory image mismatch accepted")
+	}
+	if _, err := NewSigner([]byte("short")); err == nil {
+		t.Error("short seed accepted")
+	}
+}

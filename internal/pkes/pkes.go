@@ -1,0 +1,242 @@
+// Package pkes models the Passive Keyless Entry and Start system of the
+// paper's §II-A: a vehicle that unlocks when its key fob proves both
+// *identity* (a data-layer challenge–response) and *proximity*. The
+// proximity proof is where the designs differ:
+//
+//   - LegacyRSSI: proximity inferred from low-frequency signal presence
+//     and strength — defeated by a simple two-sided relay (ref [1]).
+//   - UWBSecureHRP: proximity from secure time-of-flight ranging with an
+//     integrity-checked HRP receiver (refs [4], [8]).
+//   - UWBLRPBounding: proximity from rapid-bit-exchange distance
+//     bounding with LRP distance commitment (refs [5], [6]).
+//
+// The identity layer is real crypto (AES-CMAC challenge–response); the
+// point the package demonstrates is that it survives a relay untouched,
+// which is exactly why physical-layer security is needed.
+package pkes
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"autosec/internal/ranging"
+	"autosec/internal/sim"
+	"autosec/internal/uwb"
+	"autosec/internal/vcrypto"
+)
+
+// System selects the proximity-proof design.
+type System int
+
+const (
+	// LegacyRSSI is the pre-UWB design: LF wake-up + RSSI proximity.
+	LegacyRSSI System = iota
+	// UWBSecureHRP uses HRP secure ranging (STS + integrity checks).
+	UWBSecureHRP
+	// UWBLRPBounding uses LRP distance bounding with commitment.
+	UWBLRPBounding
+)
+
+func (s System) String() string {
+	switch s {
+	case LegacyRSSI:
+		return "legacy-rssi"
+	case UWBSecureHRP:
+		return "uwb-hrp-secure"
+	case UWBLRPBounding:
+		return "uwb-lrp-bounding"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Relay models the two-sided relay rig used in real PKES thefts: one
+// device near the vehicle, one near the fob, a link in between. It
+// forwards all data transparently (so challenge–response succeeds) and
+// adds physical path delay.
+type Relay struct {
+	// LinkDelayNs is the added one-way delay of the relay link
+	// (amplification electronics + cable/RF hop). Real rigs add tens to
+	// thousands of nanoseconds.
+	LinkDelayNs float64
+}
+
+// Scenario is one unlock attempt.
+type Scenario struct {
+	// FobDistanceM is the true vehicle–fob distance.
+	FobDistanceM float64
+	// Relay, when non-nil, forwards the exchange.
+	Relay *Relay
+}
+
+// Result reports the outcome of an unlock attempt.
+type Result struct {
+	Unlocked          bool
+	IdentityVerified  bool
+	MeasuredDistanceM float64
+	Reason            string
+}
+
+// Vehicle is the PKES verifier.
+type Vehicle struct {
+	system       System
+	key          []byte
+	unlockRangeM float64
+	session      uint32
+	rng          *sim.RNG
+}
+
+// Fob is the PKES prover; it shares the vehicle's key.
+type Fob struct {
+	key []byte
+}
+
+// NewPair provisions a vehicle and its paired fob.
+func NewPair(system System, key []byte, unlockRangeM float64, rng *sim.RNG) (*Vehicle, *Fob, error) {
+	if len(key) != 16 {
+		return nil, nil, fmt.Errorf("pkes: key must be 16 bytes, got %d", len(key))
+	}
+	if unlockRangeM <= 0 {
+		return nil, nil, fmt.Errorf("pkes: unlock range %f", unlockRangeM)
+	}
+	k := append([]byte(nil), key...)
+	return &Vehicle{system: system, key: k, unlockRangeM: unlockRangeM, rng: rng},
+		&Fob{key: k}, nil
+}
+
+// respond is the fob's data-layer challenge–response.
+func (f *Fob) respond(challenge []byte) ([]byte, error) {
+	return vcrypto.TruncatedCMAC(f.key, challenge, 64)
+}
+
+// Attempt runs one unlock attempt against the fob under the scenario.
+// A relay forwards the data layer faithfully, so identity verification
+// always succeeds; whether the *proximity* layer is fooled depends on
+// the system design.
+func (v *Vehicle) Attempt(f *Fob, sc Scenario) (Result, error) {
+	v.session++
+	var res Result
+
+	// Data layer: challenge–response. The relay forwards bits
+	// unchanged, so this succeeds whenever the real fob is reachable.
+	challenge := make([]byte, 16)
+	binary.BigEndian.PutUint32(challenge, v.session)
+	v.rng.Bytes(challenge[4:])
+	resp, err := f.respond(challenge)
+	if err != nil {
+		return res, err
+	}
+	ok, err := vcrypto.VerifyTruncatedCMAC(v.key, challenge, resp)
+	if err != nil {
+		return res, err
+	}
+	res.IdentityVerified = ok
+	if !ok {
+		res.Reason = "identity verification failed"
+		return res, nil
+	}
+
+	switch v.system {
+	case LegacyRSSI:
+		return v.attemptRSSI(sc, res)
+	case UWBSecureHRP:
+		return v.attemptHRP(sc, res)
+	case UWBLRPBounding:
+		return v.attemptLRP(sc, res)
+	default:
+		return res, fmt.Errorf("pkes: unknown system %v", v.system)
+	}
+}
+
+// attemptRSSI: the vehicle concludes the fob is near simply because the
+// LF exchange completed with adequate signal strength — which a relay
+// with amplification always provides.
+func (v *Vehicle) attemptRSSI(sc Scenario, res Result) (Result, error) {
+	if sc.Relay != nil {
+		// The relay re-radiates the LF field near the fob and the UHF
+		// response near the vehicle: the link "looks" close.
+		res.MeasuredDistanceM = 1.0
+		res.Unlocked = true
+		res.Reason = "rssi proximity satisfied via relay"
+		return res, nil
+	}
+	res.MeasuredDistanceM = sc.FobDistanceM
+	if sc.FobDistanceM <= v.unlockRangeM {
+		res.Unlocked = true
+	} else {
+		res.Reason = fmt.Sprintf("fob out of LF range (%.1f m)", sc.FobDistanceM)
+	}
+	return res, nil
+}
+
+// attemptHRP: secure ToF ranging. The relay cannot subtract propagation
+// time, so the measured distance through it is >= the true distance.
+func (v *Vehicle) attemptHRP(sc Scenario, res Result) (Result, error) {
+	extra := 0.0
+	if sc.Relay != nil {
+		extra = sc.Relay.LinkDelayNs
+	}
+	dist, err := ranging.DSTWR(ranging.TWRConfig{
+		DistanceM:    sc.FobDistanceM,
+		ReplyDelayNs: 500,
+		ExtraPathNs:  extra,
+	})
+	if err != nil {
+		return res, err
+	}
+	// The ToF exchange itself is protected by the secure HRP receiver;
+	// verify the STS-level measurement agrees (one observation).
+	sess := uwb.Session{
+		Key: v.key, Session: v.session, Pulses: 256,
+		Channel: uwb.Channel{DistanceM: dist, NoiseStd: 0.2},
+		Secure:  true, Config: uwb.DefaultSecureConfig(),
+	}
+	m, err := sess.Measure(nil, v.rng)
+	if err != nil {
+		return res, err
+	}
+	if !m.Accepted {
+		res.Reason = "ranging integrity check failed: " + m.Reason
+		return res, nil
+	}
+	res.MeasuredDistanceM = m.MeasuredDistanceM
+	if res.MeasuredDistanceM <= v.unlockRangeM {
+		res.Unlocked = true
+	} else {
+		res.Reason = fmt.Sprintf("fob too far (%.1f m measured)", res.MeasuredDistanceM)
+	}
+	return res, nil
+}
+
+// attemptLRP: distance bounding; a relay is exactly the mafia-fraud
+// adversary, answering near the vehicle for a far-away fob.
+func (v *Vehicle) attemptLRP(sc Scenario, res Result) (Result, error) {
+	cfg := ranging.BoundingConfig{
+		Rounds:            32,
+		TrueDistanceM:     sc.FobDistanceM,
+		AttackerDistanceM: 1.0,
+		MaxBitErrors:      0,
+	}
+	strategy := ranging.NoFraud
+	if sc.Relay != nil {
+		// A pure relay adds delay; to actually appear close the relay
+		// must answer early, i.e. guess response bits.
+		strategy = ranging.MafiaFraudPreAsk
+	}
+	b, err := ranging.RunBounding(cfg, strategy, v.rng)
+	if err != nil {
+		return res, err
+	}
+	if !b.Accepted {
+		res.MeasuredDistanceM = b.DistanceM
+		res.Reason = fmt.Sprintf("distance bounding rejected (%d bit errors)", b.BitErrors)
+		return res, nil
+	}
+	res.MeasuredDistanceM = b.DistanceM
+	if b.DistanceM <= v.unlockRangeM {
+		res.Unlocked = true
+	} else {
+		res.Reason = fmt.Sprintf("fob too far (%.1f m bounded)", b.DistanceM)
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package pkes
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+var key = []byte("pkes-shared-key!")
+
+func newPair(t *testing.T, sys System, seed int64) (*Vehicle, *Fob) {
+	t.Helper()
+	v, f, err := NewPair(sys, key, 2.0, sim.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, f
+}
+
+func TestNewPairValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, _, err := NewPair(LegacyRSSI, []byte("short"), 2, rng); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, _, err := NewPair(LegacyRSSI, key, 0, rng); err == nil {
+		t.Error("zero unlock range accepted")
+	}
+}
+
+func TestLegacyUnlocksWhenFobNear(t *testing.T) {
+	v, f := newPair(t, LegacyRSSI, 1)
+	res, err := v.Attempt(f, Scenario{FobDistanceM: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unlocked || !res.IdentityVerified {
+		t.Errorf("near fob did not unlock: %+v", res)
+	}
+}
+
+func TestLegacyRejectsFarFobWithoutRelay(t *testing.T) {
+	v, f := newPair(t, LegacyRSSI, 1)
+	res, err := v.Attempt(f, Scenario{FobDistanceM: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unlocked {
+		t.Error("far fob unlocked without relay")
+	}
+}
+
+func TestLegacyRelayAttackSucceeds(t *testing.T) {
+	// The paper's ref [1]: relay defeats legacy PKES even though the
+	// crypto is sound.
+	v, f := newPair(t, LegacyRSSI, 1)
+	res, err := v.Attempt(f, Scenario{FobDistanceM: 100, Relay: &Relay{LinkDelayNs: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IdentityVerified {
+		t.Error("relay should forward the challenge-response untouched")
+	}
+	if !res.Unlocked {
+		t.Errorf("relay attack failed against legacy PKES: %+v", res)
+	}
+}
+
+func TestUWBHRPUnlocksNearFob(t *testing.T) {
+	v, f := newPair(t, UWBSecureHRP, 2)
+	res, err := v.Attempt(f, Scenario{FobDistanceM: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unlocked {
+		t.Errorf("near fob rejected by UWB HRP: %+v", res)
+	}
+}
+
+func TestUWBHRPDefeatsRelay(t *testing.T) {
+	v, f := newPair(t, UWBSecureHRP, 2)
+	for i := 0; i < 10; i++ {
+		res, err := v.Attempt(f, Scenario{FobDistanceM: 100, Relay: &Relay{LinkDelayNs: 300}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unlocked {
+			t.Fatalf("relay defeated UWB ToF ranging on trial %d: %+v", i, res)
+		}
+		if !res.IdentityVerified {
+			t.Error("identity layer should still verify through the relay")
+		}
+	}
+}
+
+func TestUWBHRPRejectsFobJustOutsideRange(t *testing.T) {
+	v, f := newPair(t, UWBSecureHRP, 3)
+	res, err := v.Attempt(f, Scenario{FobDistanceM: 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unlocked {
+		t.Errorf("fob at 5 m unlocked with 2 m policy: %+v", res)
+	}
+}
+
+func TestLRPBoundingUnlocksNearFob(t *testing.T) {
+	v, f := newPair(t, UWBLRPBounding, 4)
+	res, err := v.Attempt(f, Scenario{FobDistanceM: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unlocked {
+		t.Errorf("near fob rejected by distance bounding: %+v", res)
+	}
+}
+
+func TestLRPBoundingDefeatsRelayStatistically(t *testing.T) {
+	v, f := newPair(t, UWBLRPBounding, 5)
+	unlocked := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		res, err := v.Attempt(f, Scenario{FobDistanceM: 100, Relay: &Relay{LinkDelayNs: 300}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unlocked {
+			unlocked++
+		}
+	}
+	// Pre-ask mafia fraud against 32 rounds: (3/4)^32 ≈ 1e-4.
+	if unlocked > 2 {
+		t.Errorf("relay (mafia fraud) unlocked %d/%d times against distance bounding", unlocked, trials)
+	}
+}
+
+func TestAttackSurfaceComparisonAcrossSystems(t *testing.T) {
+	// The paired claim of §II-A in one test: the same relay rig is
+	// decisive against legacy and useless against both UWB designs.
+	relay := &Relay{LinkDelayNs: 400}
+	outcomes := map[System]bool{}
+	for _, sys := range []System{LegacyRSSI, UWBSecureHRP, UWBLRPBounding} {
+		v, f := newPair(t, sys, 7)
+		res, err := v.Attempt(f, Scenario{FobDistanceM: 50, Relay: relay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[sys] = res.Unlocked
+	}
+	if !outcomes[LegacyRSSI] {
+		t.Error("legacy should fall to the relay")
+	}
+	if outcomes[UWBSecureHRP] || outcomes[UWBLRPBounding] {
+		t.Errorf("UWB systems fell to the relay: %+v", outcomes)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	for s, want := range map[System]string{
+		LegacyRSSI: "legacy-rssi", UWBSecureHRP: "uwb-hrp-secure", UWBLRPBounding: "uwb-lrp-bounding",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package ptp models Precision Time Protocol synchronization inside the
+// vehicle network and its classic vulnerability — the time delay attack,
+// where an on-path attacker delays messages in one direction and skews
+// the slave clock without breaking any cryptography — together with the
+// PTPsec countermeasure the paper cites (ref [53]): cyclic path
+// asymmetry analysis over redundant paths. A cycle (out over one path,
+// back over another) is timed entirely with one clock, so no trust in
+// synchronization is needed; a unidirectional delay attack necessarily
+// unbalances the cycles, which both detects the attack and, with three
+// or more disjoint paths, localizes the attacked path so a clean one can
+// be used.
+package ptp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Link is one bidirectional network path with per-direction propagation
+// delays in nanoseconds. Standard PTP assumes FwdNs ≈ RevNs.
+type Link struct {
+	Name  string
+	FwdNs float64 // master → slave direction
+	RevNs float64
+	// AttackFwdNs / AttackRevNs are attacker-inserted extra delays.
+	AttackFwdNs float64
+	AttackRevNs float64
+}
+
+func (l *Link) fwd() float64 { return l.FwdNs + l.AttackFwdNs }
+func (l *Link) rev() float64 { return l.RevNs + l.AttackRevNs }
+
+// asymmetry is the quantity the delay attack cannot hide:
+// (forward − reverse) including attack contributions.
+func (l *Link) asymmetry() float64 { return l.fwd() - l.rev() }
+
+// Clock is a node clock with a fixed offset from true time (oscillator
+// drift is second-order over single exchanges and omitted).
+type Clock struct {
+	OffsetNs float64
+}
+
+// read converts a true timestamp to this clock's reading.
+func (c Clock) read(trueNs float64) float64 { return trueNs + c.OffsetNs }
+
+// SyncResult is one two-step PTP exchange outcome.
+type SyncResult struct {
+	// EstimatedOffsetNs is what the slave computes for its own offset
+	// relative to the master.
+	EstimatedOffsetNs float64
+	// TrueOffsetNs is ground truth (scoring only).
+	TrueOffsetNs float64
+	// PathDelayNs is the estimated symmetric one-way delay.
+	PathDelayNs float64
+}
+
+// ErrorNs is the residual error after the slave corrects by the
+// estimate. For a benign symmetric path it is ~0; a unidirectional
+// delay δ biases it by ±δ/2.
+func (r SyncResult) ErrorNs() float64 { return r.EstimatedOffsetNs - r.TrueOffsetNs }
+
+// Sync performs one two-step PTP exchange (Sync + DelayReq) between
+// master and slave over the link, starting at true time t0.
+func Sync(master, slave Clock, link *Link, t0 float64) SyncResult {
+	t1 := master.read(t0)
+	t2 := slave.read(t0 + link.fwd())
+	t3 := slave.read(t0 + link.fwd() + 1000)
+	t4 := master.read(t0 + link.fwd() + 1000 + link.rev())
+
+	offset := ((t2 - t1) - (t4 - t3)) / 2
+	delay := ((t2 - t1) + (t4 - t3)) / 2
+	return SyncResult{
+		EstimatedOffsetNs: offset,
+		TrueOffsetNs:      slave.OffsetNs - master.OffsetNs,
+		PathDelayNs:       delay,
+	}
+}
+
+// MeasureCycle times a probe out over path a and back over path b,
+// reading only the master's clock, so clock offsets cancel exactly. The
+// slave's turnaround time is declared and subtracted (it is the same
+// hardware constant in both directions, so an attacker gains nothing by
+// it).
+func MeasureCycle(master Clock, a, b *Link, turnaroundNs, t0 float64) float64 {
+	start := master.read(t0)
+	end := master.read(t0 + a.fwd() + turnaroundNs + b.rev())
+	return end - start - turnaroundNs
+}
+
+// Report is the PTPsec analysis outcome.
+type Report struct {
+	// AsymmetryNs estimates each path's (forward − reverse) asymmetry,
+	// assuming most paths are benign-symmetric.
+	AsymmetryNs map[string]float64
+	// AttackedPaths lists paths whose asymmetry exceeds the tolerance.
+	AttackedPaths []string
+	// Sync is the final synchronization over the best (least
+	// asymmetric) path.
+	Sync SyncResult
+	// UsedPath names the path chosen for the final sync.
+	UsedPath string
+}
+
+// Attacked reports whether any path was flagged.
+func (r *Report) Attacked() bool { return len(r.AttackedPaths) > 0 }
+
+// Analyze runs cyclic asymmetry analysis over nPaths ≥ 2 disjoint paths
+// and synchronizes over the path judged cleanest. With ≥ 3 paths a
+// single attacked path is localized exactly; with 2 paths attacks are
+// detected but attribution is ambiguous, so the sync falls back to the
+// path with the smaller round-trip inflation.
+//
+// Mechanics: for paths i and j, Cycle(i→, j←) − Cycle(j→, i←) =
+// asym(i) − asym(j). Measuring all pairs gives every pairwise
+// difference; anchoring the solution so that the largest group of paths
+// sits at zero asymmetry (the "most paths are honest" assumption, same
+// as ref [53]) yields per-path estimates.
+func Analyze(master, slave Clock, paths []*Link, toleranceNs, t0 float64) (*Report, error) {
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("ptp: cyclic analysis needs ≥2 redundant paths, got %d", len(paths))
+	}
+	const turnaround = 500
+
+	// Relative asymmetries vs paths[0].
+	rel := make([]float64, len(paths))
+	now := t0
+	for i := 1; i < len(paths); i++ {
+		c1 := MeasureCycle(master, paths[i], paths[0], turnaround, now)
+		now += 1e6
+		c2 := MeasureCycle(master, paths[0], paths[i], turnaround, now)
+		now += 1e6
+		rel[i] = c1 - c2 // asym(i) − asym(0)
+	}
+
+	// Anchor: choose the constant that zeroes the largest cluster of
+	// paths. Cluster rel values within tolerance.
+	anchor := clusterMode(rel, toleranceNs)
+	report := &Report{AsymmetryNs: map[string]float64{}}
+	bestIdx, bestAbs := 0, math.Inf(1)
+	for i, p := range paths {
+		asym := rel[i] - anchor
+		report.AsymmetryNs[p.Name] = asym
+		if math.Abs(asym) > toleranceNs {
+			report.AttackedPaths = append(report.AttackedPaths, p.Name)
+		}
+		if math.Abs(asym) < bestAbs {
+			bestIdx, bestAbs = i, math.Abs(asym)
+		}
+	}
+	sort.Strings(report.AttackedPaths)
+
+	report.UsedPath = paths[bestIdx].Name
+	report.Sync = Sync(master, slave, paths[bestIdx], now)
+	return report, nil
+}
+
+// clusterMode returns the value v such that shifting all entries by −v
+// zeroes the largest subset (within tol). Ties resolve to the smaller
+// magnitude shift, preferring "path 0 is honest".
+func clusterMode(values []float64, tol float64) float64 {
+	best, bestCount := 0.0, -1
+	for _, candidate := range values {
+		count := 0
+		for _, v := range values {
+			if math.Abs(v-candidate) <= tol {
+				count++
+			}
+		}
+		if count > bestCount || (count == bestCount && math.Abs(candidate) < math.Abs(best)) {
+			best, bestCount = candidate, count
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package ptp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func links(n int) []*Link {
+	out := make([]*Link, n)
+	for i := range out {
+		out[i] = &Link{Name: string(rune('a' + i)), FwdNs: 5000, RevNs: 5000}
+	}
+	return out
+}
+
+func TestSyncBenignExact(t *testing.T) {
+	master := Clock{OffsetNs: 0}
+	slave := Clock{OffsetNs: 123456}
+	link := &Link{Name: "a", FwdNs: 5000, RevNs: 5000}
+	res := Sync(master, slave, link, 0)
+	if math.Abs(res.ErrorNs()) > 1e-9 {
+		t.Errorf("benign sync error %v ns", res.ErrorNs())
+	}
+	if math.Abs(res.PathDelayNs-5000) > 1e-9 {
+		t.Errorf("path delay %v", res.PathDelayNs)
+	}
+}
+
+func TestSyncOffsetsCancelProperty(t *testing.T) {
+	f := func(mOff, sOff int32) bool {
+		master := Clock{OffsetNs: float64(mOff)}
+		slave := Clock{OffsetNs: float64(sOff)}
+		link := &Link{FwdNs: 4000, RevNs: 4000}
+		res := Sync(master, slave, link, 1e9)
+		return math.Abs(res.ErrorNs()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayAttackSkewsStandardPTP(t *testing.T) {
+	master, slave := Clock{}, Clock{OffsetNs: 1000}
+	link := &Link{Name: "a", FwdNs: 5000, RevNs: 5000, AttackFwdNs: 2000}
+	res := Sync(master, slave, link, 0)
+	// Forward delay δ biases the estimate by +δ/2.
+	if math.Abs(res.ErrorNs()-1000) > 1e-9 {
+		t.Errorf("attack bias %v ns, want 1000", res.ErrorNs())
+	}
+	// Reverse attack biases the other way.
+	link2 := &Link{Name: "b", FwdNs: 5000, RevNs: 5000, AttackRevNs: 2000}
+	res2 := Sync(master, slave, link2, 0)
+	if math.Abs(res2.ErrorNs()+1000) > 1e-9 {
+		t.Errorf("reverse attack bias %v ns, want -1000", res2.ErrorNs())
+	}
+}
+
+func TestCycleMeasurementIgnoresClockOffsets(t *testing.T) {
+	// The whole point of the cyclic measurement: only one clock is
+	// read, so offsets cannot contaminate it.
+	master := Clock{OffsetNs: 9e12}
+	a := &Link{Name: "a", FwdNs: 5000, RevNs: 5000}
+	b := &Link{Name: "b", FwdNs: 7000, RevNs: 7000}
+	got := MeasureCycle(master, a, b, 500, 12345)
+	if math.Abs(got-12000) > 1e-9 {
+		t.Errorf("cycle = %v, want 12000", got)
+	}
+}
+
+func TestAnalyzeBenignNoAlarm(t *testing.T) {
+	master, slave := Clock{}, Clock{OffsetNs: 555}
+	rep, err := Analyze(master, slave, links(3), 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attacked() {
+		t.Errorf("benign paths flagged: %v", rep.AttackedPaths)
+	}
+	if math.Abs(rep.Sync.ErrorNs()) > 1e-9 {
+		t.Errorf("benign sync error %v", rep.Sync.ErrorNs())
+	}
+}
+
+func TestAnalyzeLocalizesSingleAttackedPath(t *testing.T) {
+	master, slave := Clock{}, Clock{OffsetNs: 555}
+	paths := links(3)
+	paths[1].AttackFwdNs = 3000 // attack path b, forward direction
+	rep, err := Analyze(master, slave, paths, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Attacked() {
+		t.Fatal("attack not detected")
+	}
+	if len(rep.AttackedPaths) != 1 || rep.AttackedPaths[0] != "b" {
+		t.Errorf("attributed to %v, want [b]", rep.AttackedPaths)
+	}
+	if math.Abs(rep.AsymmetryNs["b"]-3000) > 100 {
+		t.Errorf("asymmetry estimate %v, want ~3000", rep.AsymmetryNs["b"])
+	}
+	// The final sync must route around the attacked path.
+	if rep.UsedPath == "b" {
+		t.Error("synced over the attacked path")
+	}
+	if math.Abs(rep.Sync.ErrorNs()) > 1e-9 {
+		t.Errorf("post-detection sync error %v ns", rep.Sync.ErrorNs())
+	}
+}
+
+func TestAnalyzeReverseAttack(t *testing.T) {
+	master, slave := Clock{}, Clock{OffsetNs: -777}
+	paths := links(4)
+	paths[2].AttackRevNs = 1500
+	rep, err := Analyze(master, slave, paths, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AttackedPaths) != 1 || rep.AttackedPaths[0] != "c" {
+		t.Errorf("attributed to %v, want [c]", rep.AttackedPaths)
+	}
+	if math.Abs(rep.AsymmetryNs["c"]+1500) > 100 {
+		t.Errorf("asymmetry %v, want ~-1500", rep.AsymmetryNs["c"])
+	}
+	if math.Abs(rep.Sync.ErrorNs()) > 1e-9 {
+		t.Errorf("sync error %v", rep.Sync.ErrorNs())
+	}
+}
+
+func TestAnalyzeTwoPathsDetectsWithoutAttribution(t *testing.T) {
+	master, slave := Clock{}, Clock{OffsetNs: 1}
+	paths := links(2)
+	paths[0].AttackFwdNs = 2000
+	rep, err := Analyze(master, slave, paths, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Attacked() {
+		t.Error("two-path attack not detected")
+	}
+}
+
+func TestAnalyzeAttackOnSyncPathForcesFailover(t *testing.T) {
+	// Attack the path that plain PTP would have used (path a) and show
+	// the error with and without PTPsec.
+	master, slave := Clock{}, Clock{OffsetNs: 42}
+	paths := links(3)
+	paths[0].AttackFwdNs = 4000
+
+	naive := Sync(master, slave, paths[0], 0)
+	if math.Abs(naive.ErrorNs()-2000) > 1e-9 {
+		t.Fatalf("naive PTP error %v, want 2000 (δ/2)", naive.ErrorNs())
+	}
+	rep, err := Analyze(master, slave, paths, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UsedPath == "a" {
+		t.Error("PTPsec stayed on the attacked path")
+	}
+	if math.Abs(rep.Sync.ErrorNs()) > 1e-9 {
+		t.Errorf("PTPsec residual error %v", rep.Sync.ErrorNs())
+	}
+}
+
+func TestAnalyzeAsymmetricButBenignWithinTolerance(t *testing.T) {
+	// Real links have small intrinsic asymmetry; it must not alarm.
+	master, slave := Clock{}, Clock{OffsetNs: 10}
+	paths := links(3)
+	paths[0].FwdNs = 5040 // 40 ns intrinsic asymmetry
+	rep, err := Analyze(master, slave, paths, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attacked() {
+		t.Errorf("40 ns intrinsic asymmetry flagged with 100 ns tolerance: %v", rep.AttackedPaths)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Clock{}, Clock{}, links(1), 100, 0); err == nil {
+		t.Error("single path accepted")
+	}
+}

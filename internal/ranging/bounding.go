@@ -1,0 +1,155 @@
+package ranging
+
+import (
+	"fmt"
+
+	"autosec/internal/sim"
+)
+
+// This file implements Brands–Chaum-style rapid bit exchange distance
+// bounding (paper ref [5]): the verifier sends n single-bit challenges;
+// the prover must answer each with a response derived from a shared
+// secret within a tight time bound. The verifier upper-bounds the
+// prover's distance from the slowest round trip and rejects the session
+// if any response bit is wrong.
+
+// FraudStrategy enumerates the classic attacks on distance bounding.
+type FraudStrategy int
+
+const (
+	// NoFraud is the benign prover at its true distance.
+	NoFraud FraudStrategy = iota
+	// MafiaFraudGuess: a man-in-the-middle near the verifier answers
+	// challenges itself by guessing each response bit (success 1/2 per
+	// round) so the far-away honest prover appears close.
+	MafiaFraudGuess
+	// MafiaFraudPreAsk: the MITM queries the honest prover with a
+	// guessed challenge *before* relaying; if the verifier's real
+	// challenge matches the guess the relayed answer is correct,
+	// otherwise the MITM guesses (success 3/4 per round).
+	MafiaFraudPreAsk
+	// DistanceFraud: the (dishonest) prover itself sends responses
+	// early, before seeing the challenge, guessing challenge-dependent
+	// bits (success 1/2 per round for a proper challenge-response
+	// function).
+	DistanceFraud
+)
+
+func (f FraudStrategy) String() string {
+	switch f {
+	case NoFraud:
+		return "benign"
+	case MafiaFraudGuess:
+		return "mafia-guess"
+	case MafiaFraudPreAsk:
+		return "mafia-preask"
+	case DistanceFraud:
+		return "distance-fraud"
+	default:
+		return fmt.Sprintf("FraudStrategy(%d)", int(f))
+	}
+}
+
+// BoundingConfig describes a distance-bounding session.
+type BoundingConfig struct {
+	Rounds int
+	// TrueDistanceM is the honest prover's actual distance.
+	TrueDistanceM float64
+	// AttackerDistanceM is where the attacker's radio sits (the
+	// distance the verifier would conclude if every response were
+	// accepted from the attacker).
+	AttackerDistanceM float64
+	// ProcessingNs is the prover's per-round turnaround (ideally ~0 for
+	// rapid bit exchange hardware).
+	ProcessingNs float64
+	// MaxBitErrors tolerated before the session is rejected.
+	MaxBitErrors int
+}
+
+// BoundingResult is the verifier's conclusion.
+type BoundingResult struct {
+	Accepted  bool
+	DistanceM float64 // upper bound concluded by the verifier
+	BitErrors int
+	Strategy  FraudStrategy
+}
+
+// RunBounding executes one distance-bounding session under the given
+// fraud strategy using the deterministic RNG for all guesses.
+func RunBounding(cfg BoundingConfig, strategy FraudStrategy, rng *sim.RNG) (BoundingResult, error) {
+	if cfg.Rounds <= 0 {
+		return BoundingResult{}, fmt.Errorf("ranging: bounding needs rounds > 0, got %d", cfg.Rounds)
+	}
+	res := BoundingResult{Strategy: strategy}
+
+	var perRoundDistance float64
+	switch strategy {
+	case NoFraud:
+		perRoundDistance = cfg.TrueDistanceM
+	case MafiaFraudGuess, MafiaFraudPreAsk, DistanceFraud:
+		perRoundDistance = cfg.AttackerDistanceM
+	default:
+		return BoundingResult{}, fmt.Errorf("ranging: unknown strategy %v", strategy)
+	}
+
+	for i := 0; i < cfg.Rounds; i++ {
+		correct := true
+		switch strategy {
+		case NoFraud:
+			// Honest prover computes the true response.
+		case MafiaFraudGuess, DistanceFraud:
+			correct = rng.Bool(0.5)
+		case MafiaFraudPreAsk:
+			correct = rng.Bool(0.75)
+		}
+		if !correct {
+			res.BitErrors++
+		}
+	}
+
+	rtt := 2*perRoundDistance*NsPerMetre + cfg.ProcessingNs
+	res.DistanceM = (rtt - cfg.ProcessingNs) / 2 / NsPerMetre
+	res.Accepted = res.BitErrors <= cfg.MaxBitErrors
+	return res, nil
+}
+
+// FraudSuccessProbability returns the analytic acceptance probability of
+// a fraud strategy for n rounds and k tolerated errors, used to check
+// the simulation against theory.
+func FraudSuccessProbability(strategy FraudStrategy, rounds, maxErrors int) float64 {
+	var p float64
+	switch strategy {
+	case NoFraud:
+		return 1
+	case MafiaFraudGuess, DistanceFraud:
+		p = 0.5
+	case MafiaFraudPreAsk:
+		p = 0.75
+	default:
+		return 0
+	}
+	// P(errors <= maxErrors), errors ~ Binomial(rounds, 1-p).
+	q := 1 - p
+	total := 0.0
+	for k := 0; k <= maxErrors && k <= rounds; k++ {
+		total += binomialPMF(rounds, k, q)
+	}
+	return total
+}
+
+func binomialPMF(n, k int, p float64) float64 {
+	// Compute C(n,k) p^k (1-p)^(n-k) iteratively to avoid overflow.
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c *= float64(n-i) / float64(i+1)
+	}
+	pk := 1.0
+	for i := 0; i < k; i++ {
+		pk *= p
+	}
+	qnk := 1.0
+	for i := 0; i < n-k; i++ {
+		qnk *= 1 - p
+	}
+	return c * pk * qnk
+}

@@ -1,0 +1,86 @@
+// Package ranging implements the protocol layer above the UWB PHY:
+// single-sided and double-sided two-way ranging (SS-TWR, DS-TWR) with
+// clock-drift modelling, and Brands–Chaum-style rapid-bit-exchange
+// distance bounding with the classic fraud strategies. Where package uwb
+// models what one radio observation can be made to say, this package
+// models what a *protocol* concludes from message round trips.
+package ranging
+
+import (
+	"fmt"
+
+	"autosec/internal/uwb"
+)
+
+// NsPerMetre is the one-way propagation time for one metre.
+const NsPerMetre = 1 / uwb.SpeedOfLight
+
+// Clock models a device oscillator: reading a true time t yields
+// t·(1+DriftPPM·1e-6). Offsets cancel in round-trip protocols, so only
+// drift matters for TWR error.
+type Clock struct {
+	DriftPPM float64
+}
+
+// Elapsed converts a true duration in ns to what this clock measures.
+func (c Clock) Elapsed(trueNs float64) float64 {
+	return trueNs * (1 + c.DriftPPM*1e-6)
+}
+
+// TWRConfig describes a two-way ranging exchange between an initiator
+// (e.g. the vehicle) and a responder (e.g. the key fob).
+type TWRConfig struct {
+	DistanceM    float64
+	ReplyDelayNs float64 // responder processing time between RX and TX
+	Initiator    Clock
+	Responder    Clock
+	// ExtraPathNs is attacker-induced additional one-way delay (a relay
+	// inserts cable/processing latency; it can never be negative —
+	// signals do not travel faster than light).
+	ExtraPathNs float64
+}
+
+func (c *TWRConfig) validate() error {
+	if c.DistanceM < 0 {
+		return fmt.Errorf("ranging: negative distance %f", c.DistanceM)
+	}
+	if c.ExtraPathNs < 0 {
+		return fmt.Errorf("ranging: relay cannot remove propagation delay (ExtraPathNs=%f)", c.ExtraPathNs)
+	}
+	return nil
+}
+
+// SSTWR performs single-sided two-way ranging: the initiator measures
+// the round-trip time, subtracts the responder's declared reply delay,
+// and halves the remainder. Responder clock drift scales the (long)
+// reply delay and is the dominant error term — the reason 802.15.4z
+// deployments prefer DS-TWR.
+func SSTWR(cfg TWRConfig) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	tof := cfg.DistanceM*NsPerMetre + cfg.ExtraPathNs
+	trueRound := 2*tof + cfg.ReplyDelayNs
+	measuredRound := cfg.Initiator.Elapsed(trueRound)
+	declaredReply := cfg.Responder.Elapsed(cfg.ReplyDelayNs)
+	est := (measuredRound - declaredReply) / 2
+	return est / NsPerMetre, nil
+}
+
+// DSTWR performs double-sided two-way ranging (two round trips, one
+// initiated by each side), which cancels first-order clock drift:
+// tof ≈ (Ra·Rb − Da·Db) / (Ra + Rb + Da + Db).
+func DSTWR(cfg TWRConfig) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	tof := cfg.DistanceM*NsPerMetre + cfg.ExtraPathNs
+	// Round A: initiator → responder → initiator.
+	ra := cfg.Initiator.Elapsed(2*tof + cfg.ReplyDelayNs)
+	da := cfg.Responder.Elapsed(cfg.ReplyDelayNs)
+	// Round B: responder → initiator → responder.
+	rb := cfg.Responder.Elapsed(2*tof + cfg.ReplyDelayNs)
+	db := cfg.Initiator.Elapsed(cfg.ReplyDelayNs)
+	est := (ra*rb - da*db) / (ra + rb + da + db)
+	return est / NsPerMetre, nil
+}

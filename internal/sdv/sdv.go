@@ -1,0 +1,281 @@
+// Package sdv models the software-defined vehicle of the paper's §IV:
+// an agnostic hardware platform running relocatable software components,
+// where every placement, update, or failover is gated by zero-trust
+// mutual authentication (ref [29]) built on SSI credentials — software
+// proves it is approved and compatible, hardware proves it is genuine
+// and capable, and the stakeholders issuing those proofs are different
+// companies with different trust anchors (Fig. 7).
+package sdv
+
+import (
+	"fmt"
+	"sort"
+
+	"autosec/internal/ssi"
+)
+
+// Credential types used by the SDV trust fabric.
+const (
+	CredSoftwareApproval = "SoftwareApproval"      // vendor/OEM approves a software release
+	CredHardwareCompat   = "HardwareCompatibility" // software release ↔ platform binding
+	CredPlatformAttest   = "PlatformAttestation"   // hardware node is genuine
+	CredCloudService     = "CloudServiceBinding"   // cloud endpoint identity
+)
+
+// HardwareNode is one computing platform in the vehicle.
+type HardwareNode struct {
+	ID       string
+	Identity *ssi.KeyPair
+	Platform string // platform family, e.g. "zc-gen3"
+	Capacity int    // schedulable units
+	// Attestation proves the node is genuine hardware.
+	Attestation *ssi.Credential
+
+	used int
+}
+
+// Free returns remaining capacity.
+func (n *HardwareNode) Free() int { return n.Capacity - n.used }
+
+// SoftwareComponent is a relocatable function (brake control, climate,
+// perception...).
+type SoftwareComponent struct {
+	ID       string
+	Identity *ssi.KeyPair
+	Version  string
+	Units    int // capacity units required
+	// Approval is the vendor's release approval; Compat binds the
+	// release to platform families via the claim "platform".
+	Approval *ssi.Credential
+	Compat   []*ssi.Credential
+}
+
+// Manager performs zero-trust placement and reconfiguration.
+type Manager struct {
+	Verifier *ssi.Verifier
+	nodes    map[string]*HardwareNode
+	comps    map[string]*SoftwareComponent
+	// placement maps component → node.
+	placement map[string]string
+	// Log records every decision for audit.
+	Log []string
+}
+
+// NewManager builds a manager around an SSI verifier.
+func NewManager(v *ssi.Verifier) *Manager {
+	return &Manager{
+		Verifier:  v,
+		nodes:     make(map[string]*HardwareNode),
+		comps:     make(map[string]*SoftwareComponent),
+		placement: make(map[string]string),
+	}
+}
+
+// AddNode registers a hardware node.
+func (m *Manager) AddNode(n *HardwareNode) error {
+	if _, dup := m.nodes[n.ID]; dup {
+		return fmt.Errorf("sdv: duplicate node %s", n.ID)
+	}
+	m.nodes[n.ID] = n
+	return nil
+}
+
+// AddComponent registers a software component.
+func (m *Manager) AddComponent(c *SoftwareComponent) error {
+	if _, dup := m.comps[c.ID]; dup {
+		return fmt.Errorf("sdv: duplicate component %s", c.ID)
+	}
+	m.comps[c.ID] = c
+	return nil
+}
+
+// PlacementOf returns the node currently hosting the component ("" if
+// unplaced).
+func (m *Manager) PlacementOf(compID string) string { return m.placement[compID] }
+
+// authorize performs the zero-trust mutual check for placing comp on
+// node at the given time. Both directions must pass:
+//
+//   - the platform verifies the software: approval credential valid and
+//     a compatibility credential names the node's platform family;
+//   - the software (vendor policy) verifies the platform: attestation
+//     credential valid and issued by a trusted anchor.
+func (m *Manager) authorize(comp *SoftwareComponent, node *HardwareNode, now int64) error {
+	if comp.Approval == nil {
+		return fmt.Errorf("sdv: %s has no approval credential", comp.ID)
+	}
+	if err := m.Verifier.Verify(comp.Approval, now); err != nil {
+		return fmt.Errorf("sdv: software approval: %w", err)
+	}
+	if comp.Approval.Subject != comp.Identity.DID {
+		return fmt.Errorf("sdv: approval credential is about %s, not %s", comp.Approval.Subject, comp.Identity.DID)
+	}
+	if comp.Approval.Claims["version"] != comp.Version {
+		return fmt.Errorf("sdv: approval covers version %q, component is %q", comp.Approval.Claims["version"], comp.Version)
+	}
+
+	compat := false
+	for _, c := range comp.Compat {
+		if c.Claims["platform"] != node.Platform || c.Claims["version"] != comp.Version {
+			continue
+		}
+		if err := m.Verifier.Verify(c, now); err != nil {
+			continue
+		}
+		compat = true
+		break
+	}
+	if !compat {
+		return fmt.Errorf("sdv: no valid compatibility credential for %s on platform %s", comp.ID, node.Platform)
+	}
+
+	if node.Attestation == nil {
+		return fmt.Errorf("sdv: node %s has no platform attestation", node.ID)
+	}
+	if err := m.Verifier.Verify(node.Attestation, now); err != nil {
+		return fmt.Errorf("sdv: platform attestation: %w", err)
+	}
+	if node.Attestation.Subject != node.Identity.DID {
+		return fmt.Errorf("sdv: attestation is about %s, not node %s", node.Attestation.Subject, node.Identity.DID)
+	}
+
+	// Proof of possession both ways: each side signs the other's
+	// challenge, so stolen credentials without keys are useless.
+	challenge := []byte(fmt.Sprintf("place:%s@%s:%d", comp.ID, node.ID, now))
+	pComp, err := ssi.Present(comp.Identity, challenge, comp.Approval)
+	if err != nil {
+		return fmt.Errorf("sdv: component possession proof: %w", err)
+	}
+	if err := m.Verifier.VerifyPresentation(pComp, challenge, now); err != nil {
+		return fmt.Errorf("sdv: component possession proof: %w", err)
+	}
+	pNode, err := ssi.Present(node.Identity, challenge, node.Attestation)
+	if err != nil {
+		return fmt.Errorf("sdv: node possession proof: %w", err)
+	}
+	if err := m.Verifier.VerifyPresentation(pNode, challenge, now); err != nil {
+		return fmt.Errorf("sdv: node possession proof: %w", err)
+	}
+	return nil
+}
+
+// Place deploys a component onto a specific node after mutual
+// authentication and capacity checks.
+func (m *Manager) Place(compID, nodeID string, now int64) error {
+	comp, ok := m.comps[compID]
+	if !ok {
+		return fmt.Errorf("sdv: unknown component %s", compID)
+	}
+	node, ok := m.nodes[nodeID]
+	if !ok {
+		return fmt.Errorf("sdv: unknown node %s", nodeID)
+	}
+	if cur := m.placement[compID]; cur != "" {
+		return fmt.Errorf("sdv: %s already placed on %s", compID, cur)
+	}
+	if node.Free() < comp.Units {
+		return fmt.Errorf("sdv: node %s has %d free units, need %d", nodeID, node.Free(), comp.Units)
+	}
+	if err := m.authorize(comp, node, now); err != nil {
+		m.Log = append(m.Log, fmt.Sprintf("DENY place %s on %s: %v", compID, nodeID, err))
+		return err
+	}
+	node.used += comp.Units
+	m.placement[compID] = nodeID
+	m.Log = append(m.Log, fmt.Sprintf("PLACE %s on %s", compID, nodeID))
+	return nil
+}
+
+// FailNode marks a node failed and reconfigures: every hosted component
+// is re-placed on the best alternative that passes mutual
+// authentication. Components with no authorized home are left unplaced
+// and reported.
+func (m *Manager) FailNode(nodeID string, now int64) (relocated, stranded []string, err error) {
+	failed, ok := m.nodes[nodeID]
+	if !ok {
+		return nil, nil, fmt.Errorf("sdv: unknown node %s", nodeID)
+	}
+	delete(m.nodes, nodeID)
+	m.Log = append(m.Log, fmt.Sprintf("FAIL node %s", nodeID))
+
+	var displaced []string
+	for comp, node := range m.placement {
+		if node == nodeID {
+			displaced = append(displaced, comp)
+		}
+	}
+	sort.Strings(displaced)
+	_ = failed
+
+	for _, compID := range displaced {
+		delete(m.placement, compID)
+		comp := m.comps[compID]
+		target := ""
+		// Deterministic candidate order: by free capacity desc, id asc.
+		ids := make([]string, 0, len(m.nodes))
+		for id := range m.nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := m.nodes[ids[i]], m.nodes[ids[j]]
+			if a.Free() != b.Free() {
+				return a.Free() > b.Free()
+			}
+			return ids[i] < ids[j]
+		})
+		for _, id := range ids {
+			if m.nodes[id].Free() < comp.Units {
+				continue
+			}
+			if err := m.authorize(comp, m.nodes[id], now); err != nil {
+				continue
+			}
+			target = id
+			break
+		}
+		if target == "" {
+			stranded = append(stranded, compID)
+			m.Log = append(m.Log, fmt.Sprintf("STRAND %s (no authorized node)", compID))
+			continue
+		}
+		m.nodes[target].used += comp.Units
+		m.placement[compID] = target
+		relocated = append(relocated, compID)
+		m.Log = append(m.Log, fmt.Sprintf("RELOCATE %s to %s", compID, target))
+	}
+	return relocated, stranded, nil
+}
+
+// Update swaps a component to a new version: the placement is dropped,
+// the component's version/credentials replaced, and placement re-run.
+// The zero-trust property means an update whose approval was revoked
+// (compromised release) cannot land anywhere.
+func (m *Manager) Update(compID, newVersion string, approval *ssi.Credential, compat []*ssi.Credential, now int64) error {
+	comp, ok := m.comps[compID]
+	if !ok {
+		return fmt.Errorf("sdv: unknown component %s", compID)
+	}
+	prevNode := m.placement[compID]
+	if prevNode == "" {
+		return fmt.Errorf("sdv: %s is not placed", compID)
+	}
+	// Stage the new version.
+	old := *comp
+	m.nodes[prevNode].used -= comp.Units
+	delete(m.placement, compID)
+	comp.Version = newVersion
+	comp.Approval = approval
+	comp.Compat = compat
+
+	if err := m.Place(compID, prevNode, now); err != nil {
+		// Roll back to the previous, still-approved version.
+		*comp = old
+		if placeErr := m.Place(compID, prevNode, now); placeErr != nil {
+			return fmt.Errorf("sdv: update rejected (%v) and rollback failed: %w", err, placeErr)
+		}
+		m.Log = append(m.Log, fmt.Sprintf("ROLLBACK %s to %s", compID, old.Version))
+		return fmt.Errorf("sdv: update rejected: %w", err)
+	}
+	m.Log = append(m.Log, fmt.Sprintf("UPDATE %s to %s", compID, newVersion))
+	return nil
+}

@@ -1,0 +1,368 @@
+package sdv
+
+import (
+	"strings"
+	"testing"
+
+	"autosec/internal/ssi"
+)
+
+// fixture builds the Fig. 7 cast: an OEM (trust anchor for platform
+// attestation), a software vendor (trust anchor for approvals and
+// compatibility), two hardware nodes, one brake-control component.
+type fixture struct {
+	oem, vendor *ssi.KeyPair
+	verifier    *ssi.Verifier
+	mgr         *Manager
+	nodeA       *HardwareNode
+	nodeB       *HardwareNode
+	brake       *SoftwareComponent
+	revocations *ssi.RevocationList
+}
+
+func seedKP(t *testing.T, b byte) *ssi.KeyPair {
+	t.Helper()
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	k, err := ssi.GenerateKeyPair(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func build(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{oem: seedKP(t, 1), vendor: seedKP(t, 2)}
+	reg := ssi.NewRegistry()
+	trust := ssi.NewTrustRegistry()
+	trust.AddAnchor(CredPlatformAttest, f.oem.DID)
+	trust.AddAnchor(CredSoftwareApproval, f.vendor.DID)
+	trust.AddAnchor(CredHardwareCompat, f.vendor.DID)
+	for _, k := range []*ssi.KeyPair{f.oem, f.vendor} {
+		if err := reg.Register(ssi.NewDocument(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.verifier = ssi.NewVerifier(reg, trust)
+	f.revocations = ssi.NewRevocationList(f.vendor, 0)
+	if err := f.verifier.AddRevocationList(f.revocations); err != nil {
+		t.Fatal(err)
+	}
+	f.mgr = NewManager(f.verifier)
+
+	newNode := func(id string, b byte, platform string, capacity int) *HardwareNode {
+		k := seedKP(t, b)
+		if err := reg.Register(ssi.NewDocument(k)); err != nil {
+			t.Fatal(err)
+		}
+		att, err := ssi.Issue(f.oem, &ssi.Credential{
+			ID: "att-" + id, Type: CredPlatformAttest,
+			Issuer: f.oem.DID, Subject: k.DID,
+			Claims: map[string]string{"platform": platform}, IssuedAt: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := &HardwareNode{ID: id, Identity: k, Platform: platform, Capacity: capacity, Attestation: att}
+		if err := f.mgr.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	f.nodeA = newNode("node-a", 10, "zc-gen3", 10)
+	f.nodeB = newNode("node-b", 11, "zc-gen3", 10)
+
+	ck := seedKP(t, 20)
+	if err := reg.Register(ssi.NewDocument(ck)); err != nil {
+		t.Fatal(err)
+	}
+	f.brake = &SoftwareComponent{ID: "brake-ctrl", Identity: ck, Version: "2.1", Units: 4}
+	f.brake.Approval = f.issueApproval(t, ck.DID, "2.1", "appr-2.1")
+	f.brake.Compat = []*ssi.Credential{f.issueCompat(t, ck.DID, "2.1", "zc-gen3", "compat-2.1")}
+	if err := f.mgr.AddComponent(f.brake); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fixture) issueApproval(t *testing.T, subject ssi.DID, version, id string) *ssi.Credential {
+	t.Helper()
+	c, err := ssi.Issue(f.vendor, &ssi.Credential{
+		ID: id, Type: CredSoftwareApproval,
+		Issuer: f.vendor.DID, Subject: subject,
+		Claims: map[string]string{"version": version}, IssuedAt: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (f *fixture) issueCompat(t *testing.T, subject ssi.DID, version, platform, id string) *ssi.Credential {
+	t.Helper()
+	c, err := ssi.Issue(f.vendor, &ssi.Credential{
+		ID: id, Type: CredHardwareCompat,
+		Issuer: f.vendor.DID, Subject: subject,
+		Claims: map[string]string{"version": version, "platform": platform}, IssuedAt: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlaceWithFullMutualAuth(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.mgr.PlacementOf("brake-ctrl") != "node-a" {
+		t.Error("placement not recorded")
+	}
+	if f.nodeA.Free() != 6 {
+		t.Errorf("capacity accounting: free=%d", f.nodeA.Free())
+	}
+}
+
+func TestPlaceRejectsUnapprovedSoftware(t *testing.T) {
+	f := build(t)
+	f.brake.Approval = nil
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err == nil {
+		t.Error("unapproved software placed")
+	}
+}
+
+func TestPlaceRejectsWrongPlatform(t *testing.T) {
+	f := build(t)
+	f.nodeA.Platform = "infotainment-gen1"
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err == nil {
+		t.Error("incompatible platform accepted")
+	}
+}
+
+func TestPlaceRejectsUnattestedHardware(t *testing.T) {
+	f := build(t)
+	f.nodeA.Attestation = nil
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err == nil {
+		t.Error("unattested (counterfeit) node accepted")
+	}
+}
+
+func TestPlaceRejectsForeignAttestation(t *testing.T) {
+	// Node B's attestation moved to node A: proof-of-possession or the
+	// subject check must catch it.
+	f := build(t)
+	f.nodeA.Attestation = f.nodeB.Attestation
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err == nil {
+		t.Error("node accepted with another node's attestation")
+	}
+}
+
+func TestPlaceRejectsVersionMismatch(t *testing.T) {
+	f := build(t)
+	f.brake.Version = "9.9" // binary swapped, credentials stale
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err == nil {
+		t.Error("version mismatch accepted")
+	}
+}
+
+func TestPlaceRejectsInsufficientCapacity(t *testing.T) {
+	f := build(t)
+	f.nodeA.Capacity = 2
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err == nil {
+		t.Error("overcommitted node accepted")
+	}
+}
+
+func TestFailoverRelocatesWithReauthorization(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err != nil {
+		t.Fatal(err)
+	}
+	relocated, stranded, err := f.mgr.FailNode("node-a", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relocated) != 1 || relocated[0] != "brake-ctrl" || len(stranded) != 0 {
+		t.Fatalf("relocated=%v stranded=%v", relocated, stranded)
+	}
+	if f.mgr.PlacementOf("brake-ctrl") != "node-b" {
+		t.Errorf("component on %s", f.mgr.PlacementOf("brake-ctrl"))
+	}
+}
+
+func TestFailoverStrandsWhenNoAuthorizedNode(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err != nil {
+		t.Fatal(err)
+	}
+	f.nodeB.Platform = "infotainment-gen1" // only alternative is incompatible
+	_, stranded, err := f.mgr.FailNode("node-a", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stranded) != 1 {
+		t.Errorf("stranded=%v", stranded)
+	}
+	if f.mgr.PlacementOf("brake-ctrl") != "" {
+		t.Error("component placed on incompatible node")
+	}
+}
+
+func TestUpdateAcceptsApprovedVersion(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err != nil {
+		t.Fatal(err)
+	}
+	appr := f.issueApproval(t, f.brake.Identity.DID, "2.2", "appr-2.2")
+	compat := []*ssi.Credential{f.issueCompat(t, f.brake.Identity.DID, "2.2", "zc-gen3", "compat-2.2")}
+	if err := f.mgr.Update("brake-ctrl", "2.2", appr, compat, 300); err != nil {
+		t.Fatal(err)
+	}
+	if f.brake.Version != "2.2" {
+		t.Error("version not updated")
+	}
+}
+
+func TestUpdateRevokedApprovalRollsBack(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err != nil {
+		t.Fatal(err)
+	}
+	appr := f.issueApproval(t, f.brake.Identity.DID, "2.2", "appr-2.2")
+	compat := []*ssi.Credential{f.issueCompat(t, f.brake.Identity.DID, "2.2", "zc-gen3", "compat-2.2")}
+	// The release is compromised: vendor revokes the approval.
+	if err := f.revocations.Revoke(f.vendor, "appr-2.2", 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.verifier.AddRevocationList(f.revocations); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Update("brake-ctrl", "2.2", appr, compat, 300); err == nil {
+		t.Fatal("revoked update accepted")
+	}
+	if f.brake.Version != "2.1" {
+		t.Errorf("rollback failed: version %s", f.brake.Version)
+	}
+	if f.mgr.PlacementOf("brake-ctrl") != "node-a" {
+		t.Error("rollback did not restore placement")
+	}
+	foundRollback := false
+	for _, l := range f.mgr.Log {
+		if strings.HasPrefix(l, "ROLLBACK") {
+			foundRollback = true
+		}
+	}
+	if !foundRollback {
+		t.Error("rollback not logged")
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.AddNode(f.nodeA); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := f.mgr.AddComponent(f.brake); err == nil {
+		t.Error("duplicate component accepted")
+	}
+	if err := f.mgr.Place("missing", "node-a", 1); err == nil {
+		t.Error("unknown component placed")
+	}
+	if err := f.mgr.Place("brake-ctrl", "missing", 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, _, err := f.mgr.FailNode("missing", 1); err == nil {
+		t.Error("unknown node failed")
+	}
+	if err := f.mgr.Update("brake-ctrl", "x", nil, nil, 1); err == nil {
+		t.Error("update of unplaced component accepted")
+	}
+}
+
+func TestDoublePlacementRejected(t *testing.T) {
+	f := build(t)
+	if err := f.mgr.Place("brake-ctrl", "node-a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Place("brake-ctrl", "node-b", 100); err == nil {
+		t.Error("double placement accepted")
+	}
+}
+
+// --- data chains (§IV-B) ---
+
+func TestChainMultiAuthorVerify(t *testing.T) {
+	f := build(t)
+	chain := NewChain()
+	sensorVendor := f.brake.Identity
+	if _, err := chain.Append(sensorVendor, "sensor-log", []byte("lidar frame 1"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Append(f.oem, "crash-report", []byte("airbag deployed"), 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Append(f.vendor, "scenario", []byte("cut-in at 20m"), 12); err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 3 {
+		t.Fatalf("len %d", chain.Len())
+	}
+	if bad, err := VerifyChain(chain, f.verifier.Registry); bad != -1 {
+		t.Fatalf("intact chain flagged at %d: %v", bad, err)
+	}
+}
+
+func TestChainDetectsPayloadTamper(t *testing.T) {
+	f := build(t)
+	chain := NewChain()
+	if _, err := chain.Append(f.oem, "crash-report", []byte("speed 48 km/h"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.Append(f.oem, "crash-report", []byte("brake applied"), 11); err != nil {
+		t.Fatal(err)
+	}
+	chain.Records()[0].Payload = []byte("speed 30 km/h") // forge the history
+	bad, _ := VerifyChain(chain, f.verifier.Registry)
+	if bad != 0 && bad != 1 {
+		t.Errorf("tamper not detected (bad=%d)", bad)
+	}
+}
+
+func TestChainDetectsReordering(t *testing.T) {
+	f := build(t)
+	chain := NewChain()
+	for i := 0; i < 3; i++ {
+		if _, err := chain.Append(f.oem, "log", []byte{byte(i)}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := chain.Records()
+	recs[1], recs[2] = recs[2], recs[1]
+	if bad, _ := VerifyChain(chain, f.verifier.Registry); bad == -1 {
+		t.Error("reordered chain verified")
+	}
+}
+
+func TestChainRejectsUnknownAuthor(t *testing.T) {
+	f := build(t)
+	stranger := seedKP(t, 99) // never registered
+	chain := NewChain()
+	if _, err := chain.Append(stranger, "log", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if bad, _ := VerifyChain(chain, f.verifier.Registry); bad != 0 {
+		t.Error("unknown author accepted")
+	}
+}
+
+func TestChainAppendValidation(t *testing.T) {
+	f := build(t)
+	chain := NewChain()
+	if _, err := chain.Append(f.oem, "", []byte("x"), 1); err == nil {
+		t.Error("empty kind accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package secoc implements AUTOSAR Secure Onboard Communication
+// (paper ref [18]): authentication of PDUs on CAN or Ethernet with a
+// truncated AES-CMAC and a freshness value to stop replay. The secured
+// PDU layout follows the specification: payload ‖ truncated freshness ‖
+// truncated MAC, where the MAC covers data-ID ‖ payload ‖ full
+// freshness. SECOC provides *authenticity only* — no confidentiality —
+// which is one of the S1 disadvantages the paper lists.
+package secoc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"autosec/internal/vcrypto"
+)
+
+// Config fixes the profile of a SECOC channel.
+type Config struct {
+	// DataID distinguishes message streams; it is bound into the MAC.
+	DataID uint16
+	// MACBits is the truncated MAC length (24–64 typical; profile 1
+	// uses 24 bits on classic CAN, larger on FD/Ethernet).
+	MACBits int
+	// FreshnessBits is how many low-order freshness bits travel in the
+	// PDU (profile 1 uses 8).
+	FreshnessBits int
+	// AcceptWindow is how far ahead of the receiver's counter a
+	// reconstructed freshness value may be (tolerates lost PDUs).
+	AcceptWindow uint64
+}
+
+// DefaultConfig is SECOC profile-1-like: 24-bit MAC, 8 freshness bits,
+// window 64 — sized to fit alongside data in small CAN payloads.
+func DefaultConfig(dataID uint16) Config {
+	return Config{DataID: dataID, MACBits: 24, FreshnessBits: 8, AcceptWindow: 64}
+}
+
+func (c Config) validate() error {
+	if c.MACBits <= 0 || c.MACBits > 128 || c.MACBits%8 != 0 {
+		return fmt.Errorf("secoc: MAC bits %d", c.MACBits)
+	}
+	if c.FreshnessBits <= 0 || c.FreshnessBits > 64 || c.FreshnessBits%8 != 0 {
+		return fmt.Errorf("secoc: freshness bits %d", c.FreshnessBits)
+	}
+	return nil
+}
+
+// Overhead returns the bytes SECOC adds to each payload.
+func (c Config) Overhead() int { return c.FreshnessBits/8 + c.MACBits/8 }
+
+// Sender protects outgoing PDUs. Not safe for concurrent use (each
+// stream belongs to one simulated ECU task).
+type Sender struct {
+	cfg Config
+	key []byte
+	fv  uint64 // full monotonic freshness counter
+}
+
+// NewSender creates a protecting endpoint.
+func NewSender(cfg Config, key []byte) (*Sender, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(key) != 16 {
+		return nil, fmt.Errorf("secoc: key must be 16 bytes")
+	}
+	return &Sender{cfg: cfg, key: append([]byte(nil), key...)}, nil
+}
+
+// Protect builds the secured PDU for payload, consuming one freshness
+// value.
+func (s *Sender) Protect(payload []byte) ([]byte, error) {
+	s.fv++
+	mac, err := computeMAC(s.key, s.cfg, payload, s.fv)
+	if err != nil {
+		return nil, err
+	}
+	fvBytes := s.cfg.FreshnessBits / 8
+	out := make([]byte, 0, len(payload)+s.cfg.Overhead())
+	out = append(out, payload...)
+	var fvBuf [8]byte
+	binary.BigEndian.PutUint64(fvBuf[:], s.fv)
+	out = append(out, fvBuf[8-fvBytes:]...)
+	out = append(out, mac...)
+	return out, nil
+}
+
+// FV exposes the current counter (tests, persistence).
+func (s *Sender) FV() uint64 { return s.fv }
+
+// Receiver verifies secured PDUs.
+type Receiver struct {
+	cfg    Config
+	key    []byte
+	lastFV uint64
+}
+
+// NewReceiver creates a verifying endpoint.
+func NewReceiver(cfg Config, key []byte) (*Receiver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(key) != 16 {
+		return nil, fmt.Errorf("secoc: key must be 16 bytes")
+	}
+	return &Receiver{cfg: cfg, key: append([]byte(nil), key...)}, nil
+}
+
+// Verify checks a secured PDU and returns the authenticated payload.
+// The receiver reconstructs the full freshness value from the truncated
+// bits by searching forward from its own counter within the acceptance
+// window; replayed or stale PDUs fail because no in-window counter
+// matches both the truncated bits and the MAC.
+func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
+	oh := r.cfg.Overhead()
+	if len(pdu) < oh {
+		return nil, fmt.Errorf("secoc: PDU shorter than overhead (%d < %d)", len(pdu), oh)
+	}
+	fvBytes := r.cfg.FreshnessBits / 8
+	payload := pdu[:len(pdu)-oh]
+	fvTrunc := pdu[len(pdu)-oh : len(pdu)-oh+fvBytes]
+	mac := pdu[len(pdu)-r.cfg.MACBits/8:]
+
+	var truncVal uint64
+	for _, b := range fvTrunc {
+		truncVal = truncVal<<8 | uint64(b)
+	}
+	mask := uint64(1)<<r.cfg.FreshnessBits - 1
+	if r.cfg.FreshnessBits == 64 {
+		mask = ^uint64(0)
+	}
+
+	// Candidate full FVs: the smallest values > lastFV whose low bits
+	// match the received truncation, within the window.
+	base := r.lastFV + 1
+	for candidate := base; candidate <= r.lastFV+r.cfg.AcceptWindow; candidate++ {
+		if candidate&mask != truncVal&mask {
+			continue
+		}
+		want, err := computeMAC(r.key, r.cfg, payload, candidate)
+		if err != nil {
+			return nil, err
+		}
+		if constantTimeEqual(want, mac) {
+			r.lastFV = candidate
+			return append([]byte(nil), payload...), nil
+		}
+	}
+	return nil, fmt.Errorf("secoc: verification failed (replay, forgery, or window exceeded)")
+}
+
+// LastFV exposes the receiver's counter.
+func (r *Receiver) LastFV() uint64 { return r.lastFV }
+
+func computeMAC(key []byte, cfg Config, payload []byte, fv uint64) ([]byte, error) {
+	msg := make([]byte, 2+len(payload)+8)
+	binary.BigEndian.PutUint16(msg[0:2], cfg.DataID)
+	copy(msg[2:], payload)
+	binary.BigEndian.PutUint64(msg[2+len(payload):], fv)
+	return vcrypto.TruncatedCMAC(key, msg, cfg.MACBits)
+}
+
+func constantTimeEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

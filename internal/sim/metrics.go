@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Metrics is a registry of named counters, gauges, and sample series.
+// It is not safe for concurrent use; simulations are single-goroutine by
+// design (the kernel serializes all events).
+type Metrics struct {
+	counters map[string]int64
+	series   map[string][]float64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		series:   make(map[string][]float64),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta int64) { m.counters[name] += delta }
+
+// Counter returns the value of the named counter (0 if never set).
+func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
+
+// Observe appends a sample to the named series.
+func (m *Metrics) Observe(name string, v float64) {
+	m.series[name] = append(m.series[name], v)
+}
+
+// Series returns the raw samples of the named series.
+func (m *Metrics) Series(name string) []float64 { return m.series[name] }
+
+// Summary describes a sample series.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P95, P99  float64
+	StdDev         float64
+}
+
+// Summarize computes order statistics for the named series. A series
+// with no samples yields a zero Summary.
+func (m *Metrics) Summarize(name string) Summary {
+	s := m.series[name]
+	if len(s) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	sum, sumSq := 0.0, 0.0
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		P50:    q(0.50),
+		P95:    q(0.95),
+		P99:    q(0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// CounterNames returns all counter names in sorted order.
+func (m *Metrics) CounterNames() []string {
+	names := make([]string, 0, len(m.counters))
+	for k := range m.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesNames returns all series names in sorted order.
+func (m *Metrics) SeriesNames() []string {
+	names := make([]string, 0, len(m.series))
+	for k := range m.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters and series summaries, one per line, in a
+// stable order suitable for golden comparisons in tests.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	for _, name := range m.CounterNames() {
+		fmt.Fprintf(&b, "counter %-40s %d\n", name, m.counters[name])
+	}
+	for _, name := range m.SeriesNames() {
+		s := m.Summarize(name)
+		fmt.Fprintf(&b, "series  %-40s n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f\n",
+			name, s.N, s.Mean, s.P50, s.P95, s.Max)
+	}
+	return b.String()
+}
+
+// Reset clears all counters and series.
+func (m *Metrics) Reset() {
+	m.counters = make(map[string]int64)
+	m.series = make(map[string][]float64)
+}

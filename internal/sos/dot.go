@@ -1,0 +1,38 @@
+package sos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the model as a Graphviz digraph: containment as dashed
+// cluster-style edges, communication links as solid edges labelled with
+// propagation probability, unowned links in red, safety-critical
+// systems double-bordered. Useful to visually diff the Fig. 9 model
+// against the paper's diagram.
+func (m *Model) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph sos {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"sans-serif\"];\n")
+	for _, s := range m.Systems() {
+		attrs := []string{fmt.Sprintf("label=\"%s\\n(L%d, %s)\"", s.Name, s.Level, s.Stakeholder)}
+		if s.SafetyCritical {
+			attrs = append(attrs, "peripheries=2", "color=firebrick")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", s.ID, strings.Join(attrs, ", "))
+	}
+	for _, s := range m.Systems() {
+		if s.Parent != "" {
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed, arrowhead=none, color=gray];\n", s.Parent, s.ID)
+		}
+	}
+	for _, l := range m.Links() {
+		attrs := []string{fmt.Sprintf("label=\"p=%.2f\"", l.Propagation)}
+		if l.SecurityOwner == "" {
+			attrs = append(attrs, "color=red", "fontcolor=red")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", l.From, l.To, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package sos
+
+// BuildMaaS constructs the Fig. 9 instance: the SAE L4 autonomous
+// mobility-as-a-service platform as a four-level system of systems with
+// the stakeholder split and entry points the paper describes. Link
+// propagation probabilities encode the "unsynchronized development and
+// integration" premise: boundaries inside one stakeholder are softer
+// than contractual boundaries between stakeholders, and several
+// cross-stakeholder links have no assigned security owner.
+func BuildMaaS() (*Model, error) {
+	m := NewModel()
+	add := func(s *System) error { return m.AddSystem(s) }
+
+	// Level 0: the platform as a whole.
+	if err := add(&System{ID: "maas", Name: "AV MaaS Platform", Level: 0, Stakeholder: "consortium"}); err != nil {
+		return nil, err
+	}
+
+	// Level 1: the four pillars.
+	level1 := []*System{
+		{ID: "av", Name: "Autonomous Vehicle", Level: 1, Parent: "maas", Stakeholder: "oem",
+			Interfaces: []Interface{
+				{Name: "charge-port", Kind: PhysicalPort, External: true},
+				{Name: "obd", Kind: PhysicalPort, External: true},
+				{Name: "cellular", Kind: WirelessLink, External: true},
+				{Name: "v2x", Kind: WirelessLink, External: true},
+			}},
+		{ID: "backend", Name: "Cloud & Backend", Level: 1, Parent: "maas", Stakeholder: "backend-op",
+			Interfaces: []Interface{
+				{Name: "fleet-api", Kind: BackendAPI, External: true},
+				{Name: "ota-service", Kind: BackendAPI, External: true},
+				{Name: "telemetry-ingest", Kind: BackendAPI, External: true},
+			}},
+		{ID: "hub", Name: "Hub Infrastructure", Level: 1, Parent: "maas", Stakeholder: "hub-op",
+			Interfaces: []Interface{
+				{Name: "depot-wifi", Kind: WirelessLink, External: true},
+				{Name: "service-terminal", Kind: PhysicalPort, External: true},
+			}},
+		{ID: "platform", Name: "MaaS Platform", Level: 1, Parent: "maas", Stakeholder: "maas-op",
+			Interfaces: []Interface{
+				{Name: "rider-app", Kind: HumanInterface, External: true},
+				{Name: "booking-api", Kind: BackendAPI, External: true},
+			}},
+	}
+	for _, s := range level1 {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Level 2: inside the vehicle.
+	level2 := []*System{
+		{ID: "vehicle-os", Name: "Vehicle OS", Level: 2, Parent: "av", Stakeholder: "oem",
+			Interfaces: []Interface{{Name: "diag-bt", Kind: WirelessLink, External: true}}},
+		{ID: "sds", Name: "Self-Driving Stack", Level: 2, Parent: "av", Stakeholder: "sds-vendor",
+			Interfaces: []Interface{
+				{Name: "camera", Kind: SensorInput, External: true},
+				{Name: "lidar", Kind: SensorInput, External: true},
+				{Name: "radar", Kind: SensorInput, External: true},
+				{Name: "gnss", Kind: SensorInput, External: true},
+			}},
+		{ID: "passenger-os", Name: "Passenger OS", Level: 2, Parent: "av", Stakeholder: "maas-op",
+			Interfaces: []Interface{
+				{Name: "cabin-tablet", Kind: HumanInterface, External: true},
+				{Name: "passenger-wifi", Kind: WirelessLink, External: true},
+			}},
+	}
+	for _, s := range level2 {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Level 3: vehicle-OS functions and SDS pipeline.
+	level3 := []*System{
+		{ID: "safety-fn", Name: "Safety Functions (steer/brake/light)", Level: 3, Parent: "vehicle-os", Stakeholder: "oem", SafetyCritical: true},
+		{ID: "comfort-fn", Name: "Comfort Functions (climate/seat)", Level: 3, Parent: "vehicle-os", Stakeholder: "oem"},
+		{ID: "sense", Name: "Sense", Level: 3, Parent: "sds", Stakeholder: "sds-vendor"},
+		{ID: "plan", Name: "Plan", Level: 3, Parent: "sds", Stakeholder: "sds-vendor"},
+		{ID: "act", Name: "Act", Level: 3, Parent: "sds", Stakeholder: "sds-vendor", SafetyCritical: true},
+	}
+	for _, s := range level3 {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Communication links. Same-stakeholder boundaries are softer
+	// (higher propagation) than contractual ones, and some
+	// cross-stakeholder links lack a security owner.
+	links := []*Link{
+		{From: "platform", To: "backend", Propagation: 0.35, SecurityOwner: "backend-op"},
+		{From: "backend", To: "av", Propagation: 0.30, SecurityOwner: ""}, // contested: OEM vs backend-op
+		{From: "hub", To: "av", Propagation: 0.25, SecurityOwner: ""},     // contested: hub-op vs OEM
+		{From: "platform", To: "passenger-os", Propagation: 0.40, SecurityOwner: "maas-op"},
+		{From: "av", To: "vehicle-os", Propagation: 0.55, SecurityOwner: "oem"},
+		{From: "av", To: "sds", Propagation: 0.45, SecurityOwner: ""}, // retrofit boundary, contested
+		{From: "av", To: "passenger-os", Propagation: 0.45, SecurityOwner: "maas-op"},
+		{From: "passenger-os", To: "vehicle-os", Propagation: 0.20, SecurityOwner: ""}, // contested
+		{From: "vehicle-os", To: "safety-fn", Propagation: 0.30, SecurityOwner: "oem"},
+		{From: "vehicle-os", To: "comfort-fn", Propagation: 0.60, SecurityOwner: "oem"},
+		{From: "sds", To: "sense", Propagation: 0.60, SecurityOwner: "sds-vendor"},
+		{From: "sense", To: "plan", Propagation: 0.55, SecurityOwner: "sds-vendor"},
+		{From: "plan", To: "act", Propagation: 0.50, SecurityOwner: "sds-vendor"},
+		{From: "act", To: "vehicle-os", Propagation: 0.45, SecurityOwner: ""}, // drive-by-wire boundary, contested
+	}
+	for _, l := range links {
+		if err := m.AddLink(l); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

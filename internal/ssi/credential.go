@@ -1,0 +1,227 @@
+package ssi
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Credential is a verifiable credential: a set of claims about a subject
+// DID, signed by an issuer DID. The paper's use cases carry claims like
+// "software approved for hardware platform X" or "contract with charging
+// provider Y".
+type Credential struct {
+	ID        string
+	Type      string // e.g. "HardwareCompatibility", "ChargingContract"
+	Issuer    DID
+	Subject   DID
+	Claims    map[string]string
+	IssuedAt  int64 // simulation seconds
+	ExpiresAt int64 // 0 = never
+	Signature []byte
+}
+
+// canonical is the byte string the signature covers.
+func (c *Credential) canonical() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%s\ntype=%s\nissuer=%s\nsubject=%s\niat=%d\nexp=%d\n",
+		c.ID, c.Type, c.Issuer, c.Subject, c.IssuedAt, c.ExpiresAt)
+	keys := make([]string, 0, len(c.Claims))
+	for k := range c.Claims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "claim:%s=%s\n", k, c.Claims[k])
+	}
+	return []byte(b.String())
+}
+
+// Issue signs the credential with the issuer's key pair. The key's DID
+// must match the credential's Issuer field.
+func Issue(issuer *KeyPair, c *Credential) (*Credential, error) {
+	if c.Issuer != issuer.DID {
+		return nil, fmt.Errorf("ssi: credential names issuer %s but key is %s", c.Issuer, issuer.DID)
+	}
+	if c.ID == "" || c.Type == "" || !c.Subject.Valid() {
+		return nil, fmt.Errorf("ssi: credential needs ID, type, and a valid subject")
+	}
+	signed := *c
+	signed.Claims = cloneClaims(c.Claims)
+	signed.Signature = issuer.Sign(signed.canonical())
+	return &signed, nil
+}
+
+func cloneClaims(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// RevocationList is an issuer-published set of revoked credential IDs.
+type RevocationList struct {
+	Issuer  DID
+	Revoked map[string]bool
+	// UpdatedAt is when the issuer last published (staleness for
+	// offline verification).
+	UpdatedAt int64
+	Signature []byte
+}
+
+// NewRevocationList creates an empty signed list.
+func NewRevocationList(issuer *KeyPair, now int64) *RevocationList {
+	rl := &RevocationList{Issuer: issuer.DID, Revoked: map[string]bool{}, UpdatedAt: now}
+	rl.Signature = issuer.Sign(rl.canonical())
+	return rl
+}
+
+// Revoke adds a credential ID and re-signs.
+func (rl *RevocationList) Revoke(issuer *KeyPair, credID string, now int64) error {
+	if issuer.DID != rl.Issuer {
+		return fmt.Errorf("ssi: only %s may update this revocation list", rl.Issuer)
+	}
+	rl.Revoked[credID] = true
+	rl.UpdatedAt = now
+	rl.Signature = issuer.Sign(rl.canonical())
+	return nil
+}
+
+func (rl *RevocationList) canonical() []byte {
+	ids := make([]string, 0, len(rl.Revoked))
+	for id := range rl.Revoked {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return []byte(fmt.Sprintf("issuer=%s\nupdated=%d\nrevoked=%s\n", rl.Issuer, rl.UpdatedAt, strings.Join(ids, ",")))
+}
+
+// verifySignature checks the list against the issuer's public key.
+func (rl *RevocationList) verifySignature(pk ed25519.PublicKey) bool {
+	return ed25519.Verify(pk, rl.canonical(), rl.Signature)
+}
+
+// TrustRegistry maps credential types to the trust anchors accepted for
+// them. "Interoperable services and multiple trust anchors exist due to
+// different stakeholders" — each verifier configures its own.
+type TrustRegistry struct {
+	anchors map[string]map[DID]bool // credential type → anchor DIDs
+	// MaxChainDepth bounds accreditation chains (anchor → intermediate
+	// issuer → credential).
+	MaxChainDepth int
+}
+
+// NewTrustRegistry returns an empty trust configuration.
+func NewTrustRegistry() *TrustRegistry {
+	return &TrustRegistry{anchors: make(map[string]map[DID]bool), MaxChainDepth: 3}
+}
+
+// AddAnchor trusts the DID as a root for the given credential type.
+func (tr *TrustRegistry) AddAnchor(credType string, anchor DID) {
+	if tr.anchors[credType] == nil {
+		tr.anchors[credType] = make(map[DID]bool)
+	}
+	tr.anchors[credType][anchor] = true
+}
+
+// IsAnchor reports direct trust.
+func (tr *TrustRegistry) IsAnchor(credType string, did DID) bool {
+	return tr.anchors[credType][did]
+}
+
+// AccreditationType is the credential type anchors use to delegate
+// issuing authority to intermediates.
+const AccreditationType = "Accreditation"
+
+// Verifier validates credentials against a registry, a trust
+// configuration, and revocation lists.
+type Verifier struct {
+	Registry *Registry
+	Trust    *TrustRegistry
+	// Revocations indexes the latest known list per issuer.
+	Revocations map[DID]*RevocationList
+	// Accreditations holds known delegation credentials, consulted when
+	// an issuer is not itself an anchor.
+	Accreditations []*Credential
+}
+
+// NewVerifier builds a verifier.
+func NewVerifier(reg *Registry, trust *TrustRegistry) *Verifier {
+	return &Verifier{Registry: reg, Trust: trust, Revocations: make(map[DID]*RevocationList)}
+}
+
+// AddRevocationList installs an issuer's list after checking its
+// signature against the registry.
+func (v *Verifier) AddRevocationList(rl *RevocationList) error {
+	doc, err := v.Registry.Resolve(rl.Issuer)
+	if err != nil {
+		return err
+	}
+	if !rl.verifySignature(doc.PublicKey) {
+		return fmt.Errorf("ssi: revocation list signature invalid for %s", rl.Issuer)
+	}
+	v.Revocations[rl.Issuer] = rl
+	return nil
+}
+
+// Verify checks a credential completely: signature against the issuer's
+// registered key, validity window at the given time, revocation, and
+// issuer trust (direct anchor or accreditation chain).
+func (v *Verifier) Verify(c *Credential, now int64) error {
+	if err := v.verifyIntegrity(c, now); err != nil {
+		return err
+	}
+	return v.verifyTrust(c, now, v.Trust.MaxChainDepth)
+}
+
+func (v *Verifier) verifyIntegrity(c *Credential, now int64) error {
+	doc, err := v.Registry.Resolve(c.Issuer)
+	if err != nil {
+		return fmt.Errorf("ssi: issuer unresolvable: %w", err)
+	}
+	if !ed25519.Verify(doc.PublicKey, c.canonical(), c.Signature) {
+		return fmt.Errorf("ssi: signature invalid on %s", c.ID)
+	}
+	if c.ExpiresAt != 0 && now > c.ExpiresAt {
+		return fmt.Errorf("ssi: credential %s expired at %d (now %d)", c.ID, c.ExpiresAt, now)
+	}
+	if now < c.IssuedAt {
+		return fmt.Errorf("ssi: credential %s not yet valid", c.ID)
+	}
+	if rl, ok := v.Revocations[c.Issuer]; ok && rl.Revoked[c.ID] {
+		return fmt.Errorf("ssi: credential %s revoked", c.ID)
+	}
+	return nil
+}
+
+func (v *Verifier) verifyTrust(c *Credential, now int64, depth int) error {
+	if v.Trust.IsAnchor(c.Type, c.Issuer) {
+		return nil
+	}
+	if depth <= 0 {
+		return fmt.Errorf("ssi: accreditation chain too deep for %s", c.ID)
+	}
+	// Look for an accreditation that lets c.Issuer issue c.Type.
+	for _, acc := range v.Accreditations {
+		if acc.Type != AccreditationType || acc.Subject != c.Issuer {
+			continue
+		}
+		if acc.Claims["can_issue"] != c.Type {
+			continue
+		}
+		if err := v.verifyIntegrity(acc, now); err != nil {
+			continue
+		}
+		// The accreditation itself must chain to an anchor for the
+		// accreditation type — either directly or via more hops.
+		if v.Trust.IsAnchor(AccreditationType, acc.Issuer) {
+			return nil
+		}
+		if err := v.verifyTrust(acc, now, depth-1); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("ssi: issuer %s not trusted for %s", c.Issuer, c.Type)
+}

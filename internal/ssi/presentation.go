@@ -1,0 +1,151 @@
+package ssi
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"strings"
+)
+
+// Presentation is a holder's proof of possession: the holder (credential
+// subject) signs a verifier-chosen challenge together with the presented
+// credential IDs, so a stolen credential cannot be replayed by a party
+// without the subject's key.
+type Presentation struct {
+	Holder      DID
+	Challenge   []byte
+	Credentials []*Credential
+	Signature   []byte
+}
+
+// Present builds a presentation over the given credentials for a
+// challenge. Every credential's subject must be the holder.
+func Present(holder *KeyPair, challenge []byte, creds ...*Credential) (*Presentation, error) {
+	if len(creds) == 0 {
+		return nil, fmt.Errorf("ssi: presentation needs at least one credential")
+	}
+	for _, c := range creds {
+		if c.Subject != holder.DID {
+			return nil, fmt.Errorf("ssi: credential %s is about %s, not holder %s", c.ID, c.Subject, holder.DID)
+		}
+	}
+	p := &Presentation{Holder: holder.DID, Challenge: append([]byte(nil), challenge...), Credentials: creds}
+	p.Signature = holder.Sign(p.canonical())
+	return p, nil
+}
+
+func (p *Presentation) canonical() []byte {
+	ids := make([]string, len(p.Credentials))
+	for i, c := range p.Credentials {
+		ids[i] = c.ID
+	}
+	return []byte(fmt.Sprintf("holder=%s\nchallenge=%x\ncreds=%s\n", p.Holder, p.Challenge, strings.Join(ids, ",")))
+}
+
+// VerifyPresentation checks holder possession and every carried
+// credential. The challenge must equal what the verifier issued.
+func (v *Verifier) VerifyPresentation(p *Presentation, challenge []byte, now int64) error {
+	if string(p.Challenge) != string(challenge) {
+		return fmt.Errorf("ssi: challenge mismatch (replayed presentation?)")
+	}
+	doc, err := v.Registry.Resolve(p.Holder)
+	if err != nil {
+		return fmt.Errorf("ssi: holder unresolvable: %w", err)
+	}
+	if !ed25519.Verify(doc.PublicKey, p.canonical(), p.Signature) {
+		return fmt.Errorf("ssi: holder signature invalid")
+	}
+	for _, c := range p.Credentials {
+		if c.Subject != p.Holder {
+			return fmt.Errorf("ssi: credential %s not about holder", c.ID)
+		}
+		if err := v.Verify(c, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OfflineBundle is a pre-fetched verification context: resolved DID
+// documents and revocation snapshots, usable when the registry is
+// unreachable (the paper's offline scenario, ref [34]). Staleness is
+// bounded by MaxAge.
+type OfflineBundle struct {
+	Docs        map[DID]*Document
+	Revocations map[DID]*RevocationList
+	FetchedAt   int64
+	MaxAge      int64
+	Trust       *TrustRegistry
+}
+
+// NewOfflineBundle snapshots the documents and revocation lists needed
+// to verify the given credentials later, offline.
+func NewOfflineBundle(v *Verifier, creds []*Credential, now, maxAge int64) (*OfflineBundle, error) {
+	b := &OfflineBundle{
+		Docs:        map[DID]*Document{},
+		Revocations: map[DID]*RevocationList{},
+		FetchedAt:   now,
+		MaxAge:      maxAge,
+		Trust:       v.Trust,
+	}
+	addDoc := func(id DID) error {
+		if _, ok := b.Docs[id]; ok {
+			return nil
+		}
+		doc, err := v.Registry.Resolve(id)
+		if err != nil {
+			return err
+		}
+		b.Docs[id] = doc
+		if rl, ok := v.Revocations[id]; ok {
+			b.Revocations[id] = rl
+		}
+		return nil
+	}
+	for _, c := range creds {
+		if err := addDoc(c.Issuer); err != nil {
+			return nil, err
+		}
+		if err := addDoc(c.Subject); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// VerifyOffline validates a presentation with only the bundled material.
+// It fails when the bundle is older than MaxAge — stale revocation data
+// must not be trusted indefinitely.
+func (b *OfflineBundle) VerifyOffline(p *Presentation, challenge []byte, now int64) error {
+	if now-b.FetchedAt > b.MaxAge {
+		return fmt.Errorf("ssi: offline bundle stale (%ds old, max %ds)", now-b.FetchedAt, b.MaxAge)
+	}
+	if string(p.Challenge) != string(challenge) {
+		return fmt.Errorf("ssi: challenge mismatch")
+	}
+	holderDoc, ok := b.Docs[p.Holder]
+	if !ok {
+		return fmt.Errorf("ssi: holder %s not in bundle", p.Holder)
+	}
+	if !ed25519.Verify(holderDoc.PublicKey, p.canonical(), p.Signature) {
+		return fmt.Errorf("ssi: holder signature invalid")
+	}
+	for _, c := range p.Credentials {
+		issuerDoc, ok := b.Docs[c.Issuer]
+		if !ok {
+			return fmt.Errorf("ssi: issuer %s not in bundle", c.Issuer)
+		}
+		if !ed25519.Verify(issuerDoc.PublicKey, c.canonical(), c.Signature) {
+			return fmt.Errorf("ssi: signature invalid on %s", c.ID)
+		}
+		if c.ExpiresAt != 0 && now > c.ExpiresAt {
+			return fmt.Errorf("ssi: credential %s expired", c.ID)
+		}
+		if rl, ok := b.Revocations[c.Issuer]; ok && rl.Revoked[c.ID] {
+			return fmt.Errorf("ssi: credential %s revoked", c.ID)
+		}
+		if !b.Trust.IsAnchor(c.Type, c.Issuer) {
+			return fmt.Errorf("ssi: issuer %s not a bundled anchor for %s", c.Issuer, c.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package tara implements an ISO/SAE 21434-style Threat Analysis and
+// Risk Assessment: the regulatory machinery the paper's §VI says the
+// MaaS ecosystem struggles to operate ("increasing regulatory demands
+// further complicate the landscape", "hinder comprehensive risk
+// assessments"). Assets carry cybersecurity properties; damage scenarios
+// rate impact on four categories; threat scenarios carry attack paths
+// whose feasibility is scored by attack potential; the risk matrix
+// combines the two and drives treatment decisions.
+package tara
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Property is a cybersecurity property of an asset.
+type Property int
+
+const (
+	Confidentiality Property = iota
+	Integrity
+	Availability
+)
+
+func (p Property) String() string {
+	switch p {
+	case Confidentiality:
+		return "confidentiality"
+	case Integrity:
+		return "integrity"
+	case Availability:
+		return "availability"
+	default:
+		return fmt.Sprintf("Property(%d)", int(p))
+	}
+}
+
+// ImpactRating follows 21434's four-step scale.
+type ImpactRating int
+
+const (
+	Negligible ImpactRating = iota
+	Moderate
+	Major
+	Severe
+)
+
+func (r ImpactRating) String() string {
+	return [...]string{"negligible", "moderate", "major", "severe"}[r]
+}
+
+// Impact rates one damage scenario across the standard's four
+// categories; the overall rating is the maximum.
+type Impact struct {
+	Safety      ImpactRating
+	Financial   ImpactRating
+	Operational ImpactRating
+	Privacy     ImpactRating
+}
+
+// Overall is the worst category.
+func (i Impact) Overall() ImpactRating {
+	max := i.Safety
+	for _, r := range []ImpactRating{i.Financial, i.Operational, i.Privacy} {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Feasibility factors follow the attack-potential approach (21434
+// Annex G / Common Criteria): each factor contributes points; more
+// points = harder attack = lower feasibility.
+type Feasibility struct {
+	ElapsedTime int // 0 (≤1 day) … 19 (>6 months)
+	Expertise   int // 0 (layman) … 8 (multiple experts)
+	Knowledge   int // 0 (public) … 11 (strictly confidential)
+	Window      int // 0 (unlimited) … 10 (difficult)
+	Equipment   int // 0 (standard) … 9 (multiple bespoke)
+}
+
+// FeasibilityRating is the four-step scale.
+type FeasibilityRating int
+
+const (
+	VeryLowFeasibility FeasibilityRating = iota
+	LowFeasibility
+	MediumFeasibility
+	HighFeasibility
+)
+
+func (f FeasibilityRating) String() string {
+	return [...]string{"very-low", "low", "medium", "high"}[f]
+}
+
+// Rating maps total attack potential to feasibility per the standard's
+// banding: ≤13 high, 14–19 medium, 20–24 low, ≥25 very low.
+func (f Feasibility) Rating() FeasibilityRating {
+	total := f.ElapsedTime + f.Expertise + f.Knowledge + f.Window + f.Equipment
+	switch {
+	case total <= 13:
+		return HighFeasibility
+	case total <= 19:
+		return MediumFeasibility
+	case total <= 24:
+		return LowFeasibility
+	default:
+		return VeryLowFeasibility
+	}
+}
+
+// Asset is something worth protecting.
+type Asset struct {
+	ID       string
+	Name     string
+	Property Property
+}
+
+// ThreatScenario is one way a damage scenario can be realized.
+type ThreatScenario struct {
+	ID     string
+	Name   string
+	Asset  string
+	Impact Impact
+	// Paths are alternative attack paths; the scenario's feasibility is
+	// the highest (easiest path wins, per the standard).
+	Paths []Feasibility
+	// Treated marks scenarios addressed by a cybersecurity control;
+	// treatment lowers the retained feasibility by the given factor
+	// steps.
+	Treatment string
+	Reduction int // feasibility steps removed by the treatment
+}
+
+// FeasibilityRating returns the scenario's (post-treatment) rating.
+func (t *ThreatScenario) FeasibilityRating() FeasibilityRating {
+	best := VeryLowFeasibility
+	for _, p := range t.Paths {
+		if r := p.Rating(); r > best {
+			best = r
+		}
+	}
+	reduced := int(best) - t.Reduction
+	if reduced < 0 {
+		reduced = 0
+	}
+	return FeasibilityRating(reduced)
+}
+
+// RiskValue is the 1–5 scale of the standard's risk matrix.
+type RiskValue int
+
+// Risk combines impact and feasibility through the 21434 risk matrix.
+func Risk(impact ImpactRating, feasibility FeasibilityRating) RiskValue {
+	// Matrix rows: impact (negligible..severe); columns: feasibility
+	// (very-low..high). Values follow the standard's example matrix.
+	matrix := [4][4]RiskValue{
+		{1, 1, 1, 1}, // negligible
+		{1, 2, 2, 3}, // moderate
+		{1, 2, 3, 4}, // major
+		{2, 3, 4, 5}, // severe
+	}
+	return matrix[impact][feasibility]
+}
+
+// TreatmentDecision per risk value: 1 retain, 2–3 reduce or share,
+// 4–5 reduce (or avoid the function entirely).
+func TreatmentDecision(r RiskValue) string {
+	switch {
+	case r <= 1:
+		return "retain"
+	case r <= 3:
+		return "reduce/share"
+	default:
+		return "reduce (mandatory)"
+	}
+}
+
+// Analysis is a complete TARA worksheet.
+type Analysis struct {
+	assets    map[string]*Asset
+	scenarios []*ThreatScenario
+}
+
+// NewAnalysis returns an empty worksheet.
+func NewAnalysis() *Analysis {
+	return &Analysis{assets: map[string]*Asset{}}
+}
+
+// AddAsset registers an asset.
+func (a *Analysis) AddAsset(asset *Asset) error {
+	if asset.ID == "" {
+		return fmt.Errorf("tara: asset needs an ID")
+	}
+	if _, dup := a.assets[asset.ID]; dup {
+		return fmt.Errorf("tara: duplicate asset %s", asset.ID)
+	}
+	a.assets[asset.ID] = asset
+	return nil
+}
+
+// AddScenario registers a threat scenario against an existing asset.
+func (a *Analysis) AddScenario(s *ThreatScenario) error {
+	if s.ID == "" {
+		return fmt.Errorf("tara: scenario needs an ID")
+	}
+	if _, ok := a.assets[s.Asset]; !ok {
+		return fmt.Errorf("tara: scenario %s references unknown asset %s", s.ID, s.Asset)
+	}
+	if len(s.Paths) == 0 {
+		return fmt.Errorf("tara: scenario %s has no attack paths", s.ID)
+	}
+	a.scenarios = append(a.scenarios, s)
+	return nil
+}
+
+// Row is one line of the risk worksheet.
+type Row struct {
+	Scenario    string
+	Asset       string
+	Impact      ImpactRating
+	Feasibility FeasibilityRating
+	Risk        RiskValue
+	Decision    string
+	Treatment   string
+}
+
+// Worksheet computes the risk table, ordered by risk descending then ID.
+func (a *Analysis) Worksheet() []Row {
+	rows := make([]Row, 0, len(a.scenarios))
+	for _, s := range a.scenarios {
+		impact := s.Impact.Overall()
+		feas := s.FeasibilityRating()
+		r := Risk(impact, feas)
+		rows = append(rows, Row{
+			Scenario:    s.Name,
+			Asset:       a.assets[s.Asset].Name,
+			Impact:      impact,
+			Feasibility: feas,
+			Risk:        r,
+			Decision:    TreatmentDecision(r),
+			Treatment:   s.Treatment,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Risk != rows[j].Risk {
+			return rows[i].Risk > rows[j].Risk
+		}
+		return rows[i].Scenario < rows[j].Scenario
+	})
+	return rows
+}
+
+// ResidualAboveThreshold lists scenarios whose (post-treatment) risk
+// still demands reduction — the compliance gap list.
+func (a *Analysis) ResidualAboveThreshold(threshold RiskValue) []Row {
+	var out []Row
+	for _, r := range a.Worksheet() {
+		if r.Risk > threshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary renders the worksheet compactly.
+func (a *Analysis) Summary() string {
+	var b strings.Builder
+	for _, r := range a.Worksheet() {
+		fmt.Fprintf(&b, "risk=%d %-9s feas=%-8s %-45s → %s\n",
+			r.Risk, r.Impact, r.Feasibility, r.Scenario, r.Decision)
+	}
+	return b.String()
+}

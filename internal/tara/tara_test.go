@@ -1,0 +1,176 @@
+package tara
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestImpactOverallIsMax(t *testing.T) {
+	i := Impact{Safety: Negligible, Financial: Major, Operational: Moderate, Privacy: Severe}
+	if i.Overall() != Severe {
+		t.Errorf("overall %v", i.Overall())
+	}
+	if (Impact{}).Overall() != Negligible {
+		t.Error("zero impact not negligible")
+	}
+}
+
+func TestFeasibilityBanding(t *testing.T) {
+	cases := []struct {
+		f    Feasibility
+		want FeasibilityRating
+	}{
+		{Feasibility{}, HighFeasibility},                                                            // 0 points
+		{Feasibility{ElapsedTime: 10, Expertise: 3}, HighFeasibility},                               // 13
+		{Feasibility{ElapsedTime: 10, Expertise: 4}, MediumFeasibility},                             // 14
+		{Feasibility{ElapsedTime: 10, Expertise: 6, Knowledge: 3}, MediumFeasibility},               // 19
+		{Feasibility{ElapsedTime: 10, Expertise: 6, Knowledge: 4}, LowFeasibility},                  // 20
+		{Feasibility{ElapsedTime: 19, Expertise: 8, Knowledge: 11, Window: 10}, VeryLowFeasibility}, // 48
+	}
+	for _, tc := range cases {
+		if got := tc.f.Rating(); got != tc.want {
+			t.Errorf("%+v → %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestRiskMatrixMonotone(t *testing.T) {
+	// Risk must be monotone non-decreasing in both impact and
+	// feasibility.
+	f := func(i1, i2, f1, f2 uint8) bool {
+		ia, ib := ImpactRating(i1%4), ImpactRating(i2%4)
+		fa, fb := FeasibilityRating(f1%4), FeasibilityRating(f2%4)
+		if ia <= ib && fa <= fb {
+			return Risk(ia, fa) <= Risk(ib, fb)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Risk(Severe, HighFeasibility) != 5 {
+		t.Error("worst case not 5")
+	}
+	if Risk(Negligible, HighFeasibility) != 1 {
+		t.Error("negligible impact must be risk 1")
+	}
+}
+
+func TestTreatmentDecisions(t *testing.T) {
+	if TreatmentDecision(1) != "retain" {
+		t.Error("risk 1")
+	}
+	if TreatmentDecision(3) != "reduce/share" {
+		t.Error("risk 3")
+	}
+	if TreatmentDecision(5) != "reduce (mandatory)" {
+		t.Error("risk 5")
+	}
+}
+
+func TestScenarioUsesEasiestPath(t *testing.T) {
+	s := &ThreatScenario{
+		Paths: []Feasibility{
+			{ElapsedTime: 19, Expertise: 8, Knowledge: 11, Window: 10, Equipment: 9}, // very hard
+			{ElapsedTime: 0, Expertise: 2},                                           // easy
+		},
+	}
+	if s.FeasibilityRating() != HighFeasibility {
+		t.Errorf("scenario rating %v; easiest path must win", s.FeasibilityRating())
+	}
+	s.Reduction = 2
+	if s.FeasibilityRating() != LowFeasibility {
+		t.Errorf("treated rating %v", s.FeasibilityRating())
+	}
+	s.Reduction = 99
+	if s.FeasibilityRating() != VeryLowFeasibility {
+		t.Error("reduction must clamp at very-low")
+	}
+}
+
+func TestAnalysisValidation(t *testing.T) {
+	a := NewAnalysis()
+	if err := a.AddAsset(&Asset{}); err == nil {
+		t.Error("empty asset ID accepted")
+	}
+	if err := a.AddAsset(&Asset{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddAsset(&Asset{ID: "x"}); err == nil {
+		t.Error("duplicate asset accepted")
+	}
+	if err := a.AddScenario(&ThreatScenario{ID: "s", Asset: "missing", Paths: []Feasibility{{}}}); err == nil {
+		t.Error("unknown asset accepted")
+	}
+	if err := a.AddScenario(&ThreatScenario{ID: "s", Asset: "x"}); err == nil {
+		t.Error("scenario without paths accepted")
+	}
+	if err := a.AddScenario(&ThreatScenario{Asset: "x", Paths: []Feasibility{{}}}); err == nil {
+		t.Error("scenario without ID accepted")
+	}
+}
+
+func TestVehicleTARAUntreatedHasMandatoryReductions(t *testing.T) {
+	a, err := BuildVehicleTARA(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := a.Worksheet()
+	if len(rows) != 7 {
+		t.Fatalf("%d scenarios", len(rows))
+	}
+	// Worksheet is sorted by risk descending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Risk > rows[i-1].Risk {
+			t.Fatal("worksheet not sorted by risk")
+		}
+	}
+	residual := a.ResidualAboveThreshold(3)
+	if len(residual) < 2 {
+		t.Errorf("untreated vehicle has only %d mandatory-reduction risks", len(residual))
+	}
+	// The breach scenario (trivially feasible, severe privacy) must top
+	// the pre-treatment list alongside the masquerade.
+	if rows[0].Risk != 5 {
+		t.Errorf("top risk %d, want 5", rows[0].Risk)
+	}
+}
+
+func TestVehicleTARATreatmentReducesRisk(t *testing.T) {
+	before, err := BuildVehicleTARA(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := BuildVehicleTARA(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumBefore, sumAfter := 0, 0
+	for _, r := range before.Worksheet() {
+		sumBefore += int(r.Risk)
+	}
+	for _, r := range after.Worksheet() {
+		sumAfter += int(r.Risk)
+		if r.Treatment == "" {
+			t.Errorf("treated worksheet row %q without control", r.Scenario)
+		}
+	}
+	if sumAfter >= sumBefore {
+		t.Errorf("treatment did not reduce aggregate risk: %d → %d", sumBefore, sumAfter)
+	}
+	if len(after.ResidualAboveThreshold(3)) != 0 {
+		t.Errorf("mandatory reductions remain after treatment: %v", after.ResidualAboveThreshold(3))
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	a, err := BuildVehicleTARA(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Summary()
+	if !strings.Contains(s, "risk=") || !strings.Contains(s, "masquerade") {
+		t.Errorf("summary:\n%s", s)
+	}
+}

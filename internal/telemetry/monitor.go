@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+)
+
+// Monitor is the cloud's security monitoring: the §V-B point is that a
+// breach only becomes an "incident" if somebody notices. The monitor
+// watches the IAM and data-plane event stream with the alarms a
+// reasonable deployment would have — and the stealth experiment shows
+// how an attacker routes around exactly these.
+type Monitor struct {
+	// FleetScopeAlarm fires when a fleet-wide token is minted (the
+	// master-key misuse signature).
+	FleetScopeAlarm bool
+	// MintRateAlarm fires when more than MintRateLimit tokens are
+	// minted within one MintRateWindow of logical event time.
+	MintRateAlarm bool
+	MintRateLimit int
+	// VolumeAlarm fires when a single token fetches more than
+	// VolumeLimit records.
+	VolumeAlarm bool
+	VolumeLimit int
+
+	alerts []string
+}
+
+// DefaultMonitor enables all alarms with deployment-plausible limits.
+func DefaultMonitor() *Monitor {
+	return &Monitor{
+		FleetScopeAlarm: true,
+		MintRateAlarm:   true, MintRateLimit: 20,
+		VolumeAlarm: true, VolumeLimit: 500,
+	}
+}
+
+// Alerts returns everything raised so far.
+func (m *Monitor) Alerts() []string { return m.alerts }
+
+// Detected reports whether any alarm fired.
+func (m *Monitor) Detected() bool { return len(m.alerts) > 0 }
+
+func (m *Monitor) raise(format string, args ...any) {
+	m.alerts = append(m.alerts, fmt.Sprintf(format, args...))
+}
+
+// AccessEvent is one data-plane or IAM event.
+type AccessEvent struct {
+	// Step is a logical timestamp (the cloud's own event counter).
+	Step int
+	// Kind is "mint" or "fetch".
+	Kind string
+	// FleetScope marks fleet-wide tokens.
+	FleetScope bool
+	// Records is the fetch size.
+	Records int
+}
+
+// observer wiring on the Cloud ---------------------------------------
+
+// AttachMonitor installs a monitor; subsequent MintToken/Fetch calls
+// feed it.
+func (c *Cloud) AttachMonitor(m *Monitor) { c.monitor = m }
+
+// Monitor returns the installed monitor (nil if none).
+func (c *Cloud) Monitor() *Monitor { return c.monitor }
+
+// recordEvent feeds the monitor (no-op without one).
+func (c *Cloud) recordEvent(ev AccessEvent) {
+	c.step++
+	ev.Step = c.step
+	c.events = append(c.events, ev)
+	m := c.monitor
+	if m == nil {
+		return
+	}
+	switch ev.Kind {
+	case "mint":
+		if m.FleetScopeAlarm && ev.FleetScope {
+			m.raise("fleet-scope token minted at step %d", ev.Step)
+		}
+		if m.MintRateAlarm {
+			count := 0
+			for _, e := range c.events {
+				if e.Kind == "mint" && ev.Step-e.Step < mintRateWindow {
+					count++
+				}
+			}
+			if count > m.MintRateLimit {
+				m.raise("token mint rate %d exceeds %d at step %d", count, m.MintRateLimit, ev.Step)
+			}
+		}
+	case "fetch":
+		if m.VolumeAlarm && ev.Records > m.VolumeLimit {
+			m.raise("bulk fetch of %d records at step %d", ev.Records, ev.Step)
+		}
+	}
+}
+
+// mintRateWindow is the logical-step span of the mint-rate alarm.
+const mintRateWindow = 100
+
+// Events exposes the audit log (forensics; §V's whistleblower moment is
+// finding these after the fact).
+func (c *Cloud) Events() []AccessEvent { return c.events }
+
+// AdvanceTime moves the logical clock forward without activity — the
+// patient attacker's tool: spreading mints beyond the rate window.
+func (c *Cloud) AdvanceTime(steps int) { c.step += steps }

@@ -1,0 +1,256 @@
+// Package telemetry models the fleet telemetry cloud of the paper's §V
+// — the CARIAD-style backend whose breach the paper analyzes: vehicles
+// reporting geolocation and diagnostics into a cloud store fronted by a
+// web API, an IAM token service, and the misconfiguration classes that
+// formed the kill chain of Fig. 8 (exposed heap-dump endpoint,
+// credentials in process memory, an over-privileged master key), plus
+// the hardening switches that break each link.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"autosec/internal/sim"
+)
+
+// Record is one telemetry data point.
+type Record struct {
+	VIN       string
+	OwnerName string
+	Email     string
+	Lat, Lon  float64
+	Timestamp int64
+}
+
+// Config holds the deployment's security posture. Every field models a
+// real class of defect (true = vulnerable) or defence.
+type Config struct {
+	// HeapDumpExposed leaves the framework's debug heap-dump endpoint
+	// reachable in production.
+	HeapDumpExposed bool
+	// SecretsInMemory keeps long-lived cloud credentials in the
+	// application heap (no scrubbing / external secret store).
+	SecretsInMemory bool
+	// MasterKeyOverPrivileged lets the telemetry app's key mint access
+	// tokens for *any* user (no least-privilege scoping).
+	MasterKeyOverPrivileged bool
+	// EnumerationDefended rate-limits and uniformly answers unknown
+	// paths, defeating directory brute-forcing.
+	EnumerationDefended bool
+	// CoarseLocation stores geolocation truncated to ~1 km (data
+	// minimization); precise data never exists to steal.
+	CoarseLocation bool
+}
+
+// WorstCase returns the configuration matching the incident: everything
+// vulnerable.
+func WorstCase() Config {
+	return Config{HeapDumpExposed: true, SecretsInMemory: true, MasterKeyOverPrivileged: true}
+}
+
+// Hardened returns the fully defended configuration.
+func Hardened() Config {
+	return Config{EnumerationDefended: true, CoarseLocation: true}
+}
+
+// Cloud is the telemetry backend.
+type Cloud struct {
+	cfg     Config
+	records map[string][]Record // by VIN
+	vins    []string
+	// masterKey is the application's IAM credential.
+	masterKey string
+	// issued tracks minted tokens: token → VIN scope ("" = all).
+	issued map[string]string
+	paths  []string
+
+	// monitoring & audit state (see monitor.go).
+	monitor *Monitor
+	events  []AccessEvent
+	step    int
+}
+
+// NewCloud builds a backend with a synthetic fleet of the given size.
+// Each vehicle gets a months-long geolocation history (scaled to
+// pointsPerVehicle).
+func NewCloud(cfg Config, vehicles, pointsPerVehicle int, rng *sim.RNG) *Cloud {
+	c := &Cloud{
+		cfg:       cfg,
+		records:   make(map[string][]Record, vehicles),
+		masterKey: "AKIA-MASTER-0xFLEET",
+		issued:    make(map[string]string),
+		paths: []string{
+			"/api/v1/telemetry", "/api/v1/vehicles", "/api/v1/health",
+			"/actuator", "/actuator/env", "/actuator/heapdump",
+		},
+	}
+	for i := 0; i < vehicles; i++ {
+		vin := fmt.Sprintf("WVWZZZ%07d", i)
+		c.vins = append(c.vins, vin)
+		lat := 48.0 + rng.Float64()*4 // somewhere in central Europe
+		lon := 8.0 + rng.Float64()*6
+		recs := make([]Record, 0, pointsPerVehicle)
+		for p := 0; p < pointsPerVehicle; p++ {
+			la, lo := lat+rng.NormFloat64()*0.05, lon+rng.NormFloat64()*0.05
+			if cfg.CoarseLocation {
+				la = math.Round(la*100) / 100 // ~1 km grid
+				lo = math.Round(lo*100) / 100
+			}
+			recs = append(recs, Record{
+				VIN:       vin,
+				OwnerName: fmt.Sprintf("owner-%d", i),
+				Email:     fmt.Sprintf("owner-%d@example.com", i),
+				Lat:       la, Lon: lo,
+				Timestamp: int64(p) * 3600,
+			})
+		}
+		c.records[vin] = recs
+	}
+	return c
+}
+
+// Config exposes the posture (read-only copy).
+func (c *Cloud) Config() Config { return c.cfg }
+
+// Fleet returns the number of vehicles.
+func (c *Cloud) Fleet() int { return len(c.vins) }
+
+// VINs returns the fleet's vehicle identifiers. In the breach scenario
+// the attacker obtains this list from the same heap dump that leaked
+// the credentials (session objects reference active VINs).
+func (c *Cloud) VINs() []string { return append([]string(nil), c.vins...) }
+
+// TotalRecords returns the total stored data points.
+func (c *Cloud) TotalRecords() int {
+	n := 0
+	for _, r := range c.records {
+		n += len(r)
+	}
+	return n
+}
+
+// --- the web surface the attacker probes ---
+
+// Probe answers an unauthenticated HTTP-style request for a path. It
+// returns a status code and a body snippet.
+func (c *Cloud) Probe(path string) (int, string) {
+	known := false
+	for _, p := range c.paths {
+		if p == path {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return 404, ""
+	}
+	switch {
+	case path == "/actuator/heapdump":
+		if !c.cfg.HeapDumpExposed {
+			return 403, "forbidden"
+		}
+		return 200, c.heapDump()
+	case strings.HasPrefix(path, "/actuator"):
+		if !c.cfg.HeapDumpExposed {
+			return 403, "forbidden"
+		}
+		return 200, "spring-boot actuator index"
+	case strings.HasPrefix(path, "/api/"):
+		return 401, "token required"
+	}
+	return 404, ""
+}
+
+// EnumeratePaths models a gobuster run with the given wordlist budget:
+// it returns the discoverable paths. With enumeration defences on, the
+// scan learns nothing beyond the public API root.
+func (c *Cloud) EnumeratePaths(budget int) []string {
+	if c.cfg.EnumerationDefended {
+		return []string{"/api/v1/telemetry"}
+	}
+	// A realistic wordlist finds the framework paths quickly; the
+	// budget caps how many are revealed.
+	out := append([]string(nil), c.paths...)
+	sort.Strings(out)
+	if budget < len(out) {
+		out = out[:budget]
+	}
+	return out
+}
+
+// heapDump renders the process memory. If secrets live in memory, the
+// IAM master key is in there.
+func (c *Cloud) heapDump() string {
+	var b strings.Builder
+	b.WriteString("JAVA HPROF 1.0.2\n...thousands of objects...\n")
+	b.WriteString("com.fleet.telemetry.Session{user=svc-telemetry}\n")
+	if c.cfg.SecretsInMemory {
+		fmt.Fprintf(&b, "com.fleet.iam.Credentials{accessKey=%q}\n", c.masterKey)
+	}
+	b.WriteString("...more objects...\n")
+	return b.String()
+}
+
+// MintToken exchanges an IAM credential for an access token scoped to a
+// VIN ("" requests fleet-wide scope). Fleet-wide scope requires the
+// master key to be over-privileged.
+func (c *Cloud) MintToken(iamKey, scopeVIN string) (string, error) {
+	if iamKey != c.masterKey {
+		return "", fmt.Errorf("telemetry: invalid IAM credential")
+	}
+	if scopeVIN == "" && !c.cfg.MasterKeyOverPrivileged {
+		return "", fmt.Errorf("telemetry: key not authorized for fleet-wide scope")
+	}
+	if scopeVIN != "" {
+		if _, ok := c.records[scopeVIN]; !ok {
+			return "", fmt.Errorf("telemetry: unknown VIN %s", scopeVIN)
+		}
+	}
+	tok := fmt.Sprintf("tok-%d", len(c.issued)+1)
+	c.issued[tok] = scopeVIN
+	c.recordEvent(AccessEvent{Kind: "mint", FleetScope: scopeVIN == ""})
+	return tok, nil
+}
+
+// Fetch returns records accessible under a token. Fleet-scope tokens
+// stream everything.
+func (c *Cloud) Fetch(token string) ([]Record, error) {
+	scope, ok := c.issued[token]
+	if !ok {
+		return nil, fmt.Errorf("telemetry: invalid token")
+	}
+	if scope != "" {
+		out := append([]Record(nil), c.records[scope]...)
+		c.recordEvent(AccessEvent{Kind: "fetch", Records: len(out)})
+		return out, nil
+	}
+	var out []Record
+	for _, vin := range c.vins {
+		out = append(out, c.records[vin]...)
+	}
+	c.recordEvent(AccessEvent{Kind: "fetch", FleetScope: true, Records: len(out)})
+	return out, nil
+}
+
+// LocationPrecisionM estimates the positional precision of a record set
+// in metres: coarse storage yields ~1 km, precise storage ~10 m. It
+// inspects the decimal structure of stored coordinates.
+func LocationPrecisionM(recs []Record) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	coarse := true
+	for _, r := range recs {
+		if math.Abs(r.Lat*100-math.Round(r.Lat*100)) > 1e-9 {
+			coarse = false
+			break
+		}
+	}
+	if coarse {
+		return 1000
+	}
+	return 10
+}

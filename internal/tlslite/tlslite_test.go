@@ -1,0 +1,162 @@
+package tlslite
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"autosec/internal/sim"
+)
+
+var psk = []byte("pre-shared-key-for-ecu-to-cloud!")
+
+func TestHandshakeAndRecordRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(1)
+	c, s, err := Handshake(psk, psk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Seal([]byte("diagnostic upload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len("diagnostic upload")+RecordOverhead {
+		t.Errorf("record length %d", len(rec))
+	}
+	got, err := s.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "diagnostic upload" {
+		t.Errorf("payload %q", got)
+	}
+	// And the reverse direction with distinct keys.
+	rec2, err := s.Seal([]byte("ack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := c.Open(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "ack" {
+		t.Errorf("reverse payload %q", got2)
+	}
+}
+
+func TestHandshakeRejectsPSKMismatch(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, _, err := Handshake(psk, []byte("a-completely-different-psk-here!"), rng); err == nil {
+		t.Error("mismatched PSKs completed handshake")
+	}
+	if _, _, err := Handshake([]byte("short"), psk, rng); err == nil {
+		t.Error("short PSK accepted")
+	}
+}
+
+func TestOpenRejectsReplay(t *testing.T) {
+	rng := sim.NewRNG(2)
+	c, s, err := Handshake(psk, psk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(rec); err == nil {
+		t.Error("replayed record accepted")
+	}
+}
+
+func TestOpenAllowsReorderWithinWindow(t *testing.T) {
+	rng := sim.NewRNG(3)
+	c, s, err := Handshake(psk, psk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs [][]byte
+	for i := 0; i < 5; i++ {
+		r, err := c.Seal([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	// Deliver 5th then the rest out of order.
+	if _, err := s.Open(recs[4]); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 0, 3, 2} {
+		if _, err := s.Open(recs[i]); err != nil {
+			t.Errorf("in-window record %d rejected: %v", i, err)
+		}
+	}
+	// Now each of them replayed must fail.
+	for i := range recs {
+		if _, err := s.Open(recs[i]); err == nil {
+			t.Errorf("replay of record %d accepted", i)
+		}
+	}
+}
+
+func TestOpenRejectsTamper(t *testing.T) {
+	rng := sim.NewRNG(4)
+	c, s, err := Handshake(psk, psk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Seal([]byte("important"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[14] ^= 1
+	if _, err := s.Open(rec); err == nil {
+		t.Error("tampered record accepted")
+	}
+	if _, err := s.Open([]byte{1, 2, 3}); err == nil {
+		t.Error("short record accepted")
+	}
+}
+
+func TestDirectionKeysAreIndependent(t *testing.T) {
+	rng := sim.NewRNG(5)
+	c, s, err := Handshake(psk, psk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Seal([]byte("c2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client must not accept its own c2s record as s2c traffic.
+	if _, err := c.Open(rec); err == nil {
+		t.Error("reflected record accepted (direction keys shared)")
+	}
+	_ = s
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(6)
+	c, s, err := Handshake(psk, psk, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte) bool {
+		if len(payload) > 16384 {
+			payload = payload[:16384]
+		}
+		rec, err := c.Seal(payload)
+		if err != nil {
+			return false
+		}
+		got, err := s.Open(rec)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package uwb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Correlate computes the normalized cross-correlation of the received
+// signal with the STS template at every candidate offset. Entry k is the
+// correlation assuming the first STS pulse arrived at sample k, divided
+// by the number of pulses, so a clean unit-gain arrival scores ~1.0.
+func Correlate(rx Signal, sts *STS) []float64 {
+	n := len(sts.Polarity)
+	maxOffset := len(rx) - (n-1)*ChipSpacing
+	if maxOffset <= 0 {
+		return nil
+	}
+	out := make([]float64, maxOffset)
+	for k := 0; k < maxOffset; k++ {
+		sum := 0.0
+		for i, p := range sts.Polarity {
+			sum += float64(p) * rx[k+i*ChipSpacing]
+		}
+		out[k] = sum / float64(n)
+	}
+	return out
+}
+
+// ToAResult is the outcome of a time-of-arrival estimation.
+type ToAResult struct {
+	// Sample is the estimated arrival sample of the first STS pulse.
+	Sample int
+	// Peak is the normalized correlation value at Sample.
+	Peak float64
+	// Accepted reports whether the receiver's integrity checks (if
+	// any) passed. A naive receiver always accepts.
+	Accepted bool
+	// Reason is empty when Accepted, otherwise a short diagnosis.
+	Reason string
+}
+
+// NaiveToA implements the insecure first-path search the paper warns
+// about: it finds the global correlation maximum, then walks backwards
+// without bound accepting any earlier sample whose correlation exceeds
+// threshold·peak as the "first path". An attacker who injects even a
+// modest ghost peak in front of the legitimate arrival shortens the
+// measured distance. It performs no validity check on the result.
+func NaiveToA(rx Signal, sts *STS, threshold float64) ToAResult {
+	corr := Correlate(rx, sts)
+	if len(corr) == 0 {
+		return ToAResult{Sample: -1}
+	}
+	peakIdx, peakVal := argmaxAbs(corr)
+	first := peakIdx
+	for k := 0; k < peakIdx; k++ {
+		if math.Abs(corr[k]) >= threshold*math.Abs(peakVal) {
+			first = k
+			break
+		}
+	}
+	return ToAResult{Sample: first, Peak: corr[first], Accepted: true}
+}
+
+// SecureConfig parametrizes the integrity-checked receiver.
+type SecureConfig struct {
+	// BackSearchWindow bounds, in samples, how far before the strongest
+	// path the receiver will accept an earlier "first path". 802.15.4z
+	// implementations bound this window to the channel's plausible
+	// excess delay (a few ns) precisely to defeat ghost peaks far in
+	// front of the real signal.
+	BackSearchWindow int
+	// FirstPathThreshold is the fraction of the main peak an earlier
+	// sample must reach to be considered a first path.
+	FirstPathThreshold float64
+	// MinPeak is the minimum normalized correlation for a detection to
+	// be considered a signal at all.
+	MinPeak float64
+	// MinConsistency is the minimum per-pulse polarity agreement rate
+	// at the chosen ToA (the STS consistency check): for each pulse,
+	// the sign of the received sample must match the expected STS
+	// polarity. A true arrival agrees on nearly all pulses; a random
+	// ghost peak agrees on about half.
+	MinConsistency float64
+	// EnlargementGuard, when true, enables the UWB-ED-style energy test
+	// for distance enlargement: the region before the accepted first
+	// path must contain only channel noise. A jam-and-replay attacker
+	// necessarily deposits jamming energy (or leaves the intact
+	// legitimate signal) in that region.
+	EnlargementGuard bool
+	// ExpectedNoiseStd is the receiver's calibrated noise floor used by
+	// the enlargement guard; 0 lets the caller (Session) fill it from
+	// the channel model, as a real receiver's AGC/noise estimator does.
+	ExpectedNoiseStd float64
+}
+
+// DefaultSecureConfig returns the configuration used by the paper
+// experiments: a 16-sample (8 ns) back-search window, 40% first-path
+// threshold, 0.25 minimum peak, 85% STS consistency, enlargement guard
+// on.
+func DefaultSecureConfig() SecureConfig {
+	return SecureConfig{
+		BackSearchWindow:   16,
+		FirstPathThreshold: 0.4,
+		MinPeak:            0.25,
+		MinConsistency:     0.85,
+		EnlargementGuard:   true,
+	}
+}
+
+// SecureToA implements the integrity-checked receiver of §II-A: bounded
+// back-search, STS polarity consistency at the candidate ToA, and an
+// optional early-energy test against enlargement. It returns the chosen
+// sample plus whether the measurement should be trusted.
+func SecureToA(rx Signal, sts *STS, cfg SecureConfig) ToAResult {
+	corr := Correlate(rx, sts)
+	if len(corr) == 0 {
+		return ToAResult{Sample: -1, Reason: "observation too short"}
+	}
+	peakIdx, peakVal := argmaxAbs(corr)
+	if math.Abs(peakVal) < cfg.MinPeak {
+		return ToAResult{Sample: peakIdx, Peak: peakVal, Reason: "no signal: peak below floor"}
+	}
+
+	// Bounded back-search for the true first path (multipath earliest
+	// arrival), never beyond the plausibility window.
+	first := peakIdx
+	start := peakIdx - cfg.BackSearchWindow
+	if start < 0 {
+		start = 0
+	}
+	for k := start; k < peakIdx; k++ {
+		if math.Abs(corr[k]) >= cfg.FirstPathThreshold*math.Abs(peakVal) {
+			first = k
+			break
+		}
+	}
+
+	// STS consistency: per-pulse sign agreement at the chosen ToA.
+	agree := Consistency(rx, sts, first)
+	if agree < cfg.MinConsistency {
+		return ToAResult{Sample: first, Peak: corr[first], Reason: fmt.Sprintf("sts consistency %.2f < %.2f", agree, cfg.MinConsistency)}
+	}
+
+	if cfg.EnlargementGuard {
+		// Enlargement test (UWB-ED, ref [13]): the samples preceding
+		// the accepted first path — up to one STS span back, minus the
+		// multipath window — must look like channel noise. A
+		// jam-and-replay enlargement attacker deposits jamming energy
+		// there (it must mask the true arrival), and an overshadow
+		// attacker leaves the intact legitimate signal there; both
+		// raise the RMS well above the calibrated floor. The threshold
+		// is absolute: scaling it with received power would let a
+		// high-gain replay mask its own evidence.
+		span := len(sts.Polarity) * ChipSpacing
+		gStart := first - span
+		if gStart < 0 {
+			gStart = 0
+		}
+		gEnd := first - cfg.BackSearchWindow
+		if n := gEnd - gStart; n >= 64 {
+			rms := math.Sqrt(rx.Energy(gStart, gEnd) / float64(n))
+			floor := cfg.ExpectedNoiseStd
+			if floor <= 0 {
+				floor = 0.25
+			}
+			if rms > 1.5*floor {
+				return ToAResult{Sample: first, Peak: corr[first], Reason: fmt.Sprintf("pre-path energy rms %.3f over noise floor %.3f: enlargement suspected", rms, floor)}
+			}
+		}
+		// Coherent early-energy check: an intact (unjammed) early
+		// arrival also betrays itself by agreeing with the STS polarity
+		// sequence far above the 50% a sidelobe or noise achieves.
+		for k := 0; k < gEnd; k++ {
+			if math.Abs(corr[k]) < 0.08 {
+				continue // nothing resembling coherent energy
+			}
+			if Consistency(rx, sts, k) >= 0.70 {
+				return ToAResult{Sample: first, Peak: corr[first], Reason: fmt.Sprintf("coherent early energy at sample %d: enlargement suspected", k)}
+			}
+		}
+	}
+
+	return ToAResult{Sample: first, Peak: corr[first], Accepted: true}
+}
+
+// Consistency returns the fraction of STS pulses whose received sample
+// sign matches the expected polarity assuming the first pulse arrived at
+// sample toa. Pulses whose sample lies outside rx count as disagreement.
+func Consistency(rx Signal, sts *STS, toa int) float64 {
+	if toa < 0 {
+		return 0
+	}
+	agree := 0
+	for i, p := range sts.Polarity {
+		idx := toa + i*ChipSpacing
+		if idx >= len(rx) {
+			continue
+		}
+		v := rx[idx]
+		if (v > 0 && p > 0) || (v < 0 && p < 0) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(sts.Polarity))
+}
+
+func argmaxAbs(v []float64) (int, float64) {
+	bestIdx, bestVal := 0, 0.0
+	for i, x := range v {
+		if math.Abs(x) > math.Abs(bestVal) {
+			bestIdx, bestVal = i, x
+		}
+	}
+	return bestIdx, bestVal
+}

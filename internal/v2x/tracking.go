@@ -1,0 +1,88 @@
+package v2x
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file quantifies the privacy side of pseudonyms: a passive
+// eavesdropper collects broadcast messages and links them by pseudonym
+// ID. The longer a pseudonym lives, the longer the trajectory segment
+// the adversary reconstructs. Rotation bounds segment length — the same
+// data-minimization philosophy as the paper's §V-C, applied at the
+// collaboration layer.
+
+// Observation is one overheard (pseudonym, timestamp) pair.
+type Observation struct {
+	PseudonymID uint64
+	Timestamp   int64
+}
+
+// TrackingReport summarizes what a pseudonym-linking adversary learns.
+type TrackingReport struct {
+	// Segments is the number of distinct trajectory segments (one per
+	// pseudonym seen).
+	Segments int
+	// LongestSegmentS is the longest continuously-linkable span in
+	// seconds.
+	LongestSegmentS int64
+	// MeanSegmentS is the average linkable span.
+	MeanSegmentS float64
+	// CoverageS is the total observed span.
+	CoverageS int64
+}
+
+// LinkByPseudonym runs the adversary over a single vehicle's overheard
+// transmissions.
+func LinkByPseudonym(obs []Observation) TrackingReport {
+	if len(obs) == 0 {
+		return TrackingReport{}
+	}
+	spans := map[uint64][2]int64{}
+	minTS, maxTS := obs[0].Timestamp, obs[0].Timestamp
+	for _, o := range obs {
+		if o.Timestamp < minTS {
+			minTS = o.Timestamp
+		}
+		if o.Timestamp > maxTS {
+			maxTS = o.Timestamp
+		}
+		s, ok := spans[o.PseudonymID]
+		if !ok {
+			spans[o.PseudonymID] = [2]int64{o.Timestamp, o.Timestamp}
+			continue
+		}
+		if o.Timestamp < s[0] {
+			s[0] = o.Timestamp
+		}
+		if o.Timestamp > s[1] {
+			s[1] = o.Timestamp
+		}
+		spans[o.PseudonymID] = s
+	}
+	var rep TrackingReport
+	rep.Segments = len(spans)
+	rep.CoverageS = maxTS - minTS
+	total := int64(0)
+	ids := make([]uint64, 0, len(spans))
+	for id := range spans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := spans[id]
+		length := s[1] - s[0]
+		total += length
+		if length > rep.LongestSegmentS {
+			rep.LongestSegmentS = length
+		}
+	}
+	rep.MeanSegmentS = float64(total) / float64(len(spans))
+	return rep
+}
+
+// String renders the report.
+func (r TrackingReport) String() string {
+	return fmt.Sprintf("segments=%d longest=%ds mean=%.1fs of %ds observed",
+		r.Segments, r.LongestSegmentS, r.MeanSegmentS, r.CoverageS)
+}

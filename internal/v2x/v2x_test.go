@@ -1,0 +1,233 @@
+package v2x
+
+import (
+	"testing"
+
+	"autosec/internal/sim"
+	"autosec/internal/world"
+)
+
+func seed32(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func authority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority(seed32(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestIssueRequiresEnrollment(t *testing.T) {
+	a := authority(t)
+	rng := sim.NewRNG(1)
+	if _, err := a.IssuePseudonyms("ghost-car", 3, 0, 300, rng); err == nil {
+		t.Error("unenrolled vehicle got pseudonyms")
+	}
+	a.Enroll("av-1")
+	ps, err := a.IssuePseudonyms("av-1", 3, 0, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("%d pseudonyms", len(ps))
+	}
+	// Consecutive validity windows.
+	for i, p := range ps {
+		if p.NotBefore != int64(i)*300 || p.NotAfter != int64(i+1)*300 {
+			t.Errorf("pseudonym %d window [%d,%d]", i, p.NotBefore, p.NotAfter)
+		}
+	}
+	if _, err := a.IssuePseudonyms("av-1", 0, 0, 300, rng); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := NewAuthority([]byte("short")); err == nil {
+		t.Error("short seed accepted")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	a := authority(t)
+	rng := sim.NewRNG(2)
+	a.Enroll("av-1")
+	ps, err := a.IssuePseudonyms("av-1", 1, 0, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Sign(ps[0], world.Vec2{X: 10, Y: 5}, 13.9, 42, []byte("cam"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{Root: a.PublicKey(), IsRevoked: a.Revoked, MaxAge: 10}
+	if err := v.Verify(m, 45); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	a := authority(t)
+	rng := sim.NewRNG(3)
+	a.Enroll("av-1")
+	ps, err := a.IssuePseudonyms("av-1", 2, 0, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{Root: a.PublicKey(), IsRevoked: a.Revoked, MaxAge: 10}
+
+	m, err := Sign(ps[0], world.Vec2{X: 1}, 5, 42, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered payload.
+	bad := *m
+	bad.Payload = []byte("y")
+	if err := v.Verify(&bad, 45); err == nil {
+		t.Error("tampered message accepted")
+	}
+	// Outside the pseudonym's validity window.
+	if err := v.Verify(m, 9999); err == nil {
+		t.Error("expired pseudonym accepted")
+	}
+	// Stale message.
+	if err := v.Verify(m, 60); err == nil {
+		t.Error("stale message accepted")
+	}
+	// Future-dated message.
+	future, err := Sign(ps[0], world.Vec2{}, 5, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(future, 100); err == nil {
+		t.Error("future message accepted")
+	}
+	// Self-signed pseudonym (not from the authority).
+	rogue, err := NewAuthority(seed32(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue.Enroll("evil")
+	rp, err := rogue.IssuePseudonyms("evil", 1, 0, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Sign(rp[0], world.Vec2{}, 5, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(rm, 45); err == nil {
+		t.Error("pseudonym from a different authority accepted")
+	}
+	// No pseudonym at all.
+	if err := v.Verify(&Message{}, 45); err == nil {
+		t.Error("bare message accepted")
+	}
+}
+
+func TestEscrowResolutionAndRevocation(t *testing.T) {
+	a := authority(t)
+	rng := sim.NewRNG(4)
+	a.Enroll("av-7")
+	ps, err := a.IssuePseudonyms("av-7", 5, 0, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Misbehaviour reported under pseudonym 3 → resolve → revoke all.
+	vehicle, err := a.Resolve(ps[2].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vehicle != "av-7" {
+		t.Errorf("resolved %q", vehicle)
+	}
+	if n := a.RevokeVehicle(vehicle); n != 5 {
+		t.Errorf("revoked %d pseudonyms, want all 5", n)
+	}
+	v := &Verifier{Root: a.PublicKey(), IsRevoked: a.Revoked, MaxAge: 10}
+	m, err := Sign(ps[0], world.Vec2{}, 5, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(m, 45); err == nil {
+		t.Error("revoked pseudonym accepted")
+	}
+	if _, err := a.Resolve(99999); err == nil {
+		t.Error("unknown pseudonym resolved")
+	}
+	// Double revocation is idempotent.
+	if n := a.RevokeVehicle("av-7"); n != 0 {
+		t.Errorf("second revocation touched %d", n)
+	}
+}
+
+func TestSignRequiresOwnPseudonym(t *testing.T) {
+	a := authority(t)
+	rng := sim.NewRNG(5)
+	a.Enroll("av-1")
+	ps, err := a.IssuePseudonyms("av-1", 1, 0, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A received pseudonym (as it would arrive in a message) has no
+	// private key: nobody else can sign under it.
+	stolen := *ps[0]
+	stolen.priv = nil
+	if _, err := Sign(&stolen, world.Vec2{}, 5, 1, nil); err == nil {
+		t.Error("signed under a pseudonym without its key")
+	}
+}
+
+func TestTrackingRotationBoundsLinkage(t *testing.T) {
+	a := authority(t)
+	rng := sim.NewRNG(6)
+	a.Enroll("av-1")
+
+	// One hour of driving, CAM every 10 s.
+	drive := func(lifetime int64) TrackingReport {
+		n := int(3600 / lifetime)
+		if n < 1 {
+			n = 1
+		}
+		ps, err := a.IssuePseudonyms("av-1", n, 0, lifetime, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var obs []Observation
+		for ts := int64(0); ts < 3600; ts += 10 {
+			idx := int(ts / lifetime)
+			if idx >= len(ps) {
+				idx = len(ps) - 1
+			}
+			obs = append(obs, Observation{PseudonymID: ps[idx].ID, Timestamp: ts})
+		}
+		return LinkByPseudonym(obs)
+	}
+
+	noRotation := drive(3600)
+	fastRotation := drive(300)
+	if noRotation.Segments != 1 || noRotation.LongestSegmentS < 3500 {
+		t.Errorf("no rotation: %+v", noRotation)
+	}
+	if fastRotation.Segments < 10 {
+		t.Errorf("fast rotation produced only %d segments", fastRotation.Segments)
+	}
+	if fastRotation.LongestSegmentS >= noRotation.LongestSegmentS/5 {
+		t.Errorf("rotation did not shorten linkable span: %d vs %d",
+			fastRotation.LongestSegmentS, noRotation.LongestSegmentS)
+	}
+}
+
+func TestLinkByPseudonymEmpty(t *testing.T) {
+	if rep := LinkByPseudonym(nil); rep.Segments != 0 {
+		t.Error("empty observations produced segments")
+	}
+	if s := LinkByPseudonym([]Observation{{PseudonymID: 1, Timestamp: 5}}).String(); s == "" {
+		t.Error("empty report string")
+	}
+}

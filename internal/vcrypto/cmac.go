@@ -1,0 +1,112 @@
+// Package vcrypto provides the cryptographic building blocks used by the
+// vehicle security protocol stacks (SECOC, MACsec, CANsec, UWB STS) that
+// the Go standard library does not ship directly: AES-CMAC (RFC 4493),
+// a counter-mode KDF (NIST SP 800-108 style), truncated-MAC helpers with
+// constant-time comparison, and a simple key-hierarchy deriver.
+//
+// Everything here wraps crypto/aes, crypto/hmac, and crypto/sha256 from
+// the standard library; no primitives are invented.
+package vcrypto
+
+import (
+	"crypto/aes"
+	"crypto/subtle"
+	"fmt"
+)
+
+// CMAC computes the AES-CMAC (RFC 4493) of msg under a 16-, 24-, or
+// 32-byte AES key and returns the full 16-byte tag.
+func CMAC(key, msg []byte) ([16]byte, error) {
+	var tag [16]byte
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return tag, fmt.Errorf("vcrypto: cmac key: %w", err)
+	}
+
+	// Subkey generation (RFC 4493 §2.3).
+	var l [16]byte
+	block.Encrypt(l[:], l[:])
+	k1 := dbl(l)
+	k2 := dbl(k1)
+
+	n := (len(msg) + 15) / 16 // number of blocks
+	lastComplete := n > 0 && len(msg)%16 == 0
+	if n == 0 {
+		n = 1
+	}
+
+	var x [16]byte
+	for i := 0; i < n-1; i++ {
+		xorInto(&x, msg[i*16:(i+1)*16])
+		block.Encrypt(x[:], x[:])
+	}
+
+	var last [16]byte
+	if lastComplete {
+		copy(last[:], msg[(n-1)*16:])
+		for i := range last {
+			last[i] ^= k1[i]
+		}
+	} else {
+		rem := msg[(n-1)*16:]
+		if len(msg) == 0 {
+			rem = nil
+		}
+		copy(last[:], rem)
+		last[len(rem)] = 0x80
+		for i := range last {
+			last[i] ^= k2[i]
+		}
+	}
+	for i := range x {
+		x[i] ^= last[i]
+	}
+	block.Encrypt(tag[:], x[:])
+	return tag, nil
+}
+
+// dbl is the GF(2^128) doubling used for CMAC subkey derivation.
+func dbl(in [16]byte) [16]byte {
+	var out [16]byte
+	carry := byte(0)
+	for i := 15; i >= 0; i-- {
+		out[i] = in[i]<<1 | carry
+		carry = in[i] >> 7
+	}
+	if carry != 0 {
+		out[15] ^= 0x87
+	}
+	return out
+}
+
+func xorInto(x *[16]byte, block []byte) {
+	for i := 0; i < 16; i++ {
+		x[i] ^= block[i]
+	}
+}
+
+// TruncatedCMAC computes an AES-CMAC and truncates it to bits (which
+// must be a positive multiple of 8, at most 128). AUTOSAR SECOC commonly
+// uses 24–64 bit truncation to fit CAN payloads.
+func TruncatedCMAC(key, msg []byte, bits int) ([]byte, error) {
+	if bits <= 0 || bits > 128 || bits%8 != 0 {
+		return nil, fmt.Errorf("vcrypto: invalid truncation %d bits", bits)
+	}
+	tag, err := CMAC(key, msg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, bits/8)
+	copy(out, tag[:])
+	return out, nil
+}
+
+// VerifyTruncatedCMAC recomputes the truncated CMAC of msg and compares
+// it to mac in constant time.
+func VerifyTruncatedCMAC(key, msg, mac []byte) (bool, error) {
+	want, err := TruncatedCMAC(key, msg, len(mac)*8)
+	if err != nil {
+		return false, err
+	}
+	return subtle.ConstantTimeCompare(want, mac) == 1, nil
+}

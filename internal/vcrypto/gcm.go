@@ -1,0 +1,66 @@
+package vcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// GCMSeal encrypts and authenticates plaintext with AES-GCM under key,
+// using a 12-byte nonce constructed from the 8-byte channel identifier
+// and 4-byte packet number — the construction MACsec uses (SCI || PN).
+// aad is additionally authenticated but not encrypted. The returned
+// slice is ciphertext||tag (16-byte tag).
+func GCMSeal(key []byte, sci uint64, pn uint32, aad, plaintext []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := gcmNonce(sci, pn)
+	return aead.Seal(nil, nonce[:], plaintext, aad), nil
+}
+
+// GCMOpen reverses GCMSeal, returning the plaintext or an error if
+// authentication fails.
+func GCMOpen(key []byte, sci uint64, pn uint32, aad, sealed []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := gcmNonce(sci, pn)
+	pt, err := aead.Open(nil, nonce[:], sealed, aad)
+	if err != nil {
+		return nil, fmt.Errorf("vcrypto: gcm authentication failed: %w", err)
+	}
+	return pt, nil
+}
+
+// GCMTag computes an authentication-only tag (integrity without
+// confidentiality) by sealing an empty plaintext with msg as AAD. This
+// is how MACsec integrity-only mode and CANsec authentication-only
+// profiles are modelled.
+func GCMTag(key []byte, sci uint64, pn uint32, msg []byte) ([]byte, error) {
+	return GCMSeal(key, sci, pn, msg, nil)
+}
+
+// GCMVerifyTag checks a tag produced by GCMTag.
+func GCMVerifyTag(key []byte, sci uint64, pn uint32, msg, tag []byte) bool {
+	_, err := GCMOpen(key, sci, pn, msg, tag)
+	return err == nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("vcrypto: gcm key: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+func gcmNonce(sci uint64, pn uint32) [12]byte {
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[0:8], sci)
+	binary.BigEndian.PutUint32(nonce[8:12], pn)
+	return nonce
+}

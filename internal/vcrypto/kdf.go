@@ -1,0 +1,67 @@
+package vcrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// DeriveKey implements a counter-mode KDF in the style of NIST SP
+// 800-108 using HMAC-SHA256 as the PRF. It derives length bytes of key
+// material from a parent key, a label identifying the purpose, and a
+// context binding the derivation to a session or identity.
+//
+// The same (key, label, context, length) always yields the same output,
+// which the protocol stacks rely on for session-key agreement.
+func DeriveKey(key []byte, label, context string, length int) []byte {
+	if length <= 0 {
+		return nil
+	}
+	out := make([]byte, 0, length)
+	var counter uint32 = 1
+	for len(out) < length {
+		mac := hmac.New(sha256.New, key)
+		var ctr [4]byte
+		binary.BigEndian.PutUint32(ctr[:], counter)
+		mac.Write(ctr[:])
+		mac.Write([]byte(label))
+		mac.Write([]byte{0x00})
+		mac.Write([]byte(context))
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(length)*8)
+		mac.Write(lenBuf[:])
+		out = append(out, mac.Sum(nil)...)
+		counter++
+	}
+	return out[:length]
+}
+
+// KeyHierarchy derives per-purpose keys from a single long-term root,
+// mirroring the automotive practice of provisioning one OEM master
+// secret per ECU and deriving link keys from it.
+type KeyHierarchy struct {
+	root []byte
+}
+
+// NewKeyHierarchy returns a hierarchy rooted at root. The root must be
+// at least 16 bytes of entropy.
+func NewKeyHierarchy(root []byte) (*KeyHierarchy, error) {
+	if len(root) < 16 {
+		return nil, fmt.Errorf("vcrypto: root key too short (%d bytes, need >=16)", len(root))
+	}
+	r := make([]byte, len(root))
+	copy(r, root)
+	return &KeyHierarchy{root: r}, nil
+}
+
+// SessionKey derives a 16-byte AES-128 session key for the named purpose
+// and peer context.
+func (h *KeyHierarchy) SessionKey(purpose, context string) []byte {
+	return DeriveKey(h.root, purpose, context, 16)
+}
+
+// SessionKey256 derives a 32-byte AES-256 session key.
+func (h *KeyHierarchy) SessionKey256(purpose, context string) []byte {
+	return DeriveKey(h.root, purpose, context, 32)
+}

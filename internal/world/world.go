@@ -1,0 +1,138 @@
+// Package world provides the shared 2-D kinematic ground truth that the
+// sensing (§II-B) and collaboration (§VII) layers observe: actors with
+// position, velocity, and extent, stepped deterministically. Sensors
+// *sample* this world with noise and adversarial distortion; having an
+// exact ground truth is what lets the experiments score attacks and
+// defences objectively.
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vec2 is a 2-D vector in metres (or metres/second for velocities).
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v − o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v·s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Norm returns the Euclidean length.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the distance between two points.
+func Dist(a, b Vec2) float64 { return a.Sub(b).Norm() }
+
+// Actor is one physical object: a vehicle, pedestrian, or obstacle.
+type Actor struct {
+	ID     string
+	Pos    Vec2
+	Vel    Vec2
+	Radius float64 // bounding circle for collision checks
+	// Transponder marks actors that carry a cooperative ranging radio
+	// (UWB/5G-PRS); only these can be verified by two-way ranging.
+	Transponder bool
+}
+
+// World holds the actors.
+type World struct {
+	actors map[string]*Actor
+	order  []string // stable iteration order
+	time   float64
+}
+
+// New returns an empty world.
+func New() *World {
+	return &World{actors: make(map[string]*Actor)}
+}
+
+// Add inserts an actor; the ID must be unique.
+func (w *World) Add(a *Actor) error {
+	if a.ID == "" {
+		return fmt.Errorf("world: actor needs an ID")
+	}
+	if _, dup := w.actors[a.ID]; dup {
+		return fmt.Errorf("world: duplicate actor %q", a.ID)
+	}
+	w.actors[a.ID] = a
+	w.order = append(w.order, a.ID)
+	return nil
+}
+
+// Remove deletes an actor; unknown IDs are a no-op.
+func (w *World) Remove(id string) {
+	if _, ok := w.actors[id]; !ok {
+		return
+	}
+	delete(w.actors, id)
+	for i, v := range w.order {
+		if v == id {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns the actor or nil.
+func (w *World) Get(id string) *Actor { return w.actors[id] }
+
+// Actors returns all actors in insertion order.
+func (w *World) Actors() []*Actor {
+	out := make([]*Actor, 0, len(w.order))
+	for _, id := range w.order {
+		out = append(out, w.actors[id])
+	}
+	return out
+}
+
+// Time returns the accumulated simulated seconds.
+func (w *World) Time() float64 { return w.time }
+
+// Step advances every actor by dt seconds of straight-line motion.
+func (w *World) Step(dt float64) {
+	for _, a := range w.actors {
+		a.Pos = a.Pos.Add(a.Vel.Scale(dt))
+	}
+	w.time += dt
+}
+
+// Collisions returns all overlapping actor pairs, ordered by ID.
+func (w *World) Collisions() [][2]string {
+	var out [][2]string
+	ids := append([]string(nil), w.order...)
+	sort.Strings(ids)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := w.actors[ids[i]], w.actors[ids[j]]
+			if Dist(a.Pos, b.Pos) < a.Radius+b.Radius {
+				out = append(out, [2]string{a.ID, b.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns actors other than excludeID within radius of pos,
+// in insertion order.
+func (w *World) Neighbors(pos Vec2, radius float64, excludeID string) []*Actor {
+	var out []*Actor
+	for _, id := range w.order {
+		a := w.actors[id]
+		if a.ID == excludeID {
+			continue
+		}
+		if Dist(pos, a.Pos) <= radius {
+			out = append(out, a)
+		}
+	}
+	return out
+}

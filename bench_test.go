@@ -7,8 +7,11 @@
 package autosec
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"autosec/internal/campaign"
 	"autosec/internal/core"
 	"autosec/internal/ivn"
 	"autosec/internal/sim"
@@ -63,6 +66,37 @@ func BenchmarkAblationCANALSegment(b *testing.B)    { benchExperiment(b, "ablate
 func BenchmarkAblationRedundancy(b *testing.B)      { benchExperiment(b, "ablate-k") }
 func BenchmarkAblationIDSThreshold(b *testing.B)    { benchExperiment(b, "ablate-ids") }
 func BenchmarkAblationScaling(b *testing.B)         { benchExperiment(b, "ablate-scale") }
+
+// --- campaign runner (multi-seed grid through the worker pool) ---
+
+// BenchmarkCampaignAll runs every experiment at 2 seeds through the
+// campaign pool, once with a single worker (the old serial loop) and
+// once at GOMAXPROCS, so the pool's speedup over serial execution is
+// tracked in the perf trajectory. Run with -benchmem to also see the
+// aggregation overhead.
+func BenchmarkCampaignAll(b *testing.B) {
+	var ids []string
+	for _, e := range core.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	seeds := campaign.Seeds(42, 2)
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := campaign.Run(campaign.Spec{
+					IDs: ids, Seeds: seeds, Jobs: jobs, Run: core.RunExperiment,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out := res.RenderSummary(); len(out) == 0 {
+					b.Fatal("empty campaign summary")
+				}
+			}
+		})
+	}
+}
 
 // --- substrate micro-benchmarks (hot paths) ---
 

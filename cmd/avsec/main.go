@@ -5,7 +5,13 @@
 //
 //	avsec list                 # show all experiments
 //	avsec run <id> [-seed N]   # run one experiment (e.g. fig8)
-//	avsec all [-seed N]        # run everything in paper order
+//	avsec all [flags]          # run everything in paper order
+//	avsec campaign [flags]     # multi-seed statistical campaign
+//
+// Both `all` and `campaign` fan work out over a bounded worker pool and
+// re-execute a fraction of (experiment, seed) cells to enforce the sim
+// kernel's determinism contract; stdout stays byte-identical for any
+// -jobs value because every table is a pure function of the reports.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"autosec/internal/campaign"
 	"autosec/internal/core"
 	"autosec/internal/sos"
 )
@@ -53,30 +60,113 @@ func main() {
 		}
 		fmt.Print(m.DOT())
 	case "all":
-		fs := flag.NewFlagSet("all", flag.ExitOnError)
-		seed := fs.Int64("seed", 42, "deterministic simulation seed")
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
-		}
-		for _, e := range core.Experiments() {
-			fmt.Printf("═══ %s (%s) — %s ═══\n", e.ID, e.Source, e.Title)
-			out, err := e.Run(*seed)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "avsec:", err)
-				os.Exit(1)
-			}
-			fmt.Println(out)
-		}
+		runAll(os.Args[2:])
+	case "campaign":
+		runCampaign(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
+// runAll executes every experiment at one seed through the campaign
+// pool, streaming reports in paper order as each experiment (and all
+// its predecessors) completes.
+func runAll(args []string) {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "deterministic simulation seed")
+	jobs := fs.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS)")
+	recheck := fs.Float64("recheck", 0, "fraction of runs double-executed as a determinism self-check")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	byID := make(map[string]core.Experiment)
+	var ids []string
+	for _, e := range core.Experiments() {
+		byID[e.ID] = e
+		ids = append(ids, e.ID)
+	}
+	res, err := campaign.Run(campaign.Spec{
+		IDs:     ids,
+		Seeds:   []int64{*seed},
+		Jobs:    *jobs,
+		Recheck: *recheck,
+		Run:     core.RunExperiment,
+		OnCell: func(c campaign.CellResult) {
+			e := byID[c.ID]
+			fmt.Printf("═══ %s (%s) — %s ═══\n", e.ID, e.Source, e.Title)
+			if c.Err != nil {
+				fmt.Fprintln(os.Stderr, "avsec:", c.Err)
+				return
+			}
+			fmt.Println(c.Report)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avsec:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "avsec: %d experiments (%d rechecked) in %v\n",
+		len(res.Cells), res.Rechecked(), res.Elapsed.Round(1e6))
+}
+
+// runCampaign executes the multi-seed (experiment × seed) grid and
+// prints the aggregate min/mean/max tables.
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	seeds := fs.Int("seeds", 8, "number of consecutive seeds, starting at -seed")
+	base := fs.Int64("seed", 42, "base simulation seed")
+	jobs := fs.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS)")
+	recheck := fs.Float64("recheck", 0.25, "fraction of cells double-executed as a determinism self-check")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	known := make(map[string]bool)
+	var ids []string
+	for _, e := range core.Experiments() {
+		known[e.ID] = true
+		ids = append(ids, e.ID)
+	}
+	if fs.NArg() > 0 {
+		ids = fs.Args()
+		for _, id := range ids {
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "avsec campaign: unknown experiment %q (try 'avsec list')\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "avsec campaign: -seeds must be >= 1")
+		os.Exit(2)
+	}
+	res, err := campaign.Run(campaign.Spec{
+		IDs:     ids,
+		Seeds:   campaign.Seeds(*base, *seeds),
+		Jobs:    *jobs,
+		Recheck: *recheck,
+		Run:     core.RunExperiment,
+	})
+	if err != nil {
+		if res != nil {
+			// Aggregates of the healthy cells still help diagnosis.
+			fmt.Print(res.RenderSummary())
+		}
+		fmt.Fprintln(os.Stderr, "avsec:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.RenderSummary())
+	fmt.Fprintf(os.Stderr, "avsec: %d cells (%d rechecked, 0 divergences) in %v\n",
+		len(res.Cells), res.Rechecked(), res.Elapsed.Round(1e6))
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  avsec list                 list experiments
-  avsec run <id> [-seed N]   run one experiment
-  avsec all [-seed N]        run every experiment
-  avsec dot                  emit the Fig. 9 model as Graphviz`)
+  avsec list                                     list experiments
+  avsec run <id> [-seed N]                       run one experiment
+  avsec all [-seed N] [-jobs K] [-recheck F]     run every experiment (pooled, ordered output)
+  avsec campaign [-seeds N] [-seed B] [-jobs K] [-recheck F] [ids...]
+                                                 multi-seed campaign with aggregate stats
+                                                 and determinism self-check
+  avsec dot                                      emit the Fig. 9 model as Graphviz`)
 }

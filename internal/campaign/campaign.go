@@ -1,0 +1,273 @@
+// Package campaign runs multi-seed experiment campaigns: it fans an
+// (experiment, seed) grid out over a bounded worker pool, collects the
+// per-run reports and timings, aggregates rate-style metrics across
+// seeds, and — crucially — double-executes a configurable fraction of
+// cells with the same seed, failing loudly on any byte-level report
+// divergence. That turns the sim kernel's "same seed ⇒ identical
+// output" contract from a comment into a continuously exercised
+// invariant.
+//
+// The package is deliberately generic: it depends only on a RunFunc
+// (id, seed) → report, so the experiment registry in internal/core, a
+// test stub, or any future workload can be campaigned identically. All
+// rendered output is a pure function of the collected reports, so the
+// aggregate tables are byte-identical regardless of the worker count.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"autosec/internal/sim"
+)
+
+// RunFunc produces the report of one experiment at one seed. It must be
+// safe for concurrent use: the pool calls it from many goroutines.
+type RunFunc func(id string, seed int64) (string, error)
+
+// defaultRecheckSeed drives the deterministic selection of which cells
+// get the double-execution self-check. Fixed so that a given grid always
+// rechecks the same cells, independent of worker count or wall clock.
+const defaultRecheckSeed int64 = 0x5EEDC4EC
+
+// Spec describes a campaign.
+type Spec struct {
+	// IDs are the experiment identifiers, in presentation order.
+	IDs []string
+	// Seeds are the simulation seeds each experiment runs at.
+	Seeds []int64
+	// Jobs bounds the worker pool; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Recheck is the fraction of grid cells in [0, 1] that are executed
+	// twice with the same seed for the determinism self-check. When
+	// positive, at least one cell is always rechecked.
+	Recheck float64
+	// RecheckSeed seeds the cell-selection RNG; 0 uses a fixed default.
+	RecheckSeed int64
+	// Run executes one cell. Required.
+	Run RunFunc
+	// OnCell, when non-nil, is called from Run's goroutine for every
+	// completed cell in grid order (experiment-major, then seed), as soon
+	// as the cell and all its predecessors have finished. This gives
+	// callers streaming, ordered output from an out-of-order pool.
+	OnCell func(CellResult)
+}
+
+// CellResult is the outcome of one (experiment, seed) run.
+type CellResult struct {
+	ID     string
+	Seed   int64
+	Report string
+	Err    error
+	// Elapsed is the wall time of the primary execution (reporting only;
+	// it never feeds rendered tables, which must stay deterministic).
+	Elapsed time.Duration
+	// Rechecked reports whether the determinism self-check re-ran this
+	// cell; Diverged is set when the two reports differ, and
+	// RecheckReport then holds the second, conflicting report.
+	Rechecked     bool
+	Diverged      bool
+	RecheckReport string
+}
+
+// Result is a completed campaign.
+type Result struct {
+	IDs   []string
+	Seeds []int64
+	// Cells holds every outcome in grid order: Cells[i*len(Seeds)+j] is
+	// experiment IDs[i] at seed Seeds[j].
+	Cells []CellResult
+	// Elapsed is the campaign wall time (reporting only).
+	Elapsed time.Duration
+}
+
+// DivergenceError reports a violated determinism contract: the same
+// (experiment, seed) cell produced two different reports.
+type DivergenceError struct {
+	ID            string
+	Seed          int64
+	First, Second string
+}
+
+func (e *DivergenceError) Error() string {
+	off := 0
+	for off < len(e.First) && off < len(e.Second) && e.First[off] == e.Second[off] {
+		off++
+	}
+	return fmt.Sprintf("campaign: determinism violation: %s seed %d produced diverging reports (first difference at byte %d: %q vs %q)",
+		e.ID, e.Seed, off, excerpt(e.First, off), excerpt(e.Second, off))
+}
+
+// excerpt returns a short window of s around offset off for diagnostics.
+func excerpt(s string, off int) string {
+	end := off + 24
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[off:end]
+}
+
+// Seeds returns n consecutive seeds starting at base, the conventional
+// seed schedule for `avsec campaign`.
+func Seeds(base int64, n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = base + int64(i)
+	}
+	return s
+}
+
+// Run executes the campaign grid. It always returns the full Result
+// (every cell that ran, in grid order); the error joins every cell
+// failure and every determinism divergence, so a non-nil error means
+// the campaign must not be trusted.
+func Run(spec Spec) (*Result, error) {
+	if spec.Run == nil {
+		return nil, errors.New("campaign: Spec.Run is required")
+	}
+	if len(spec.IDs) == 0 {
+		return nil, errors.New("campaign: no experiment ids")
+	}
+	if len(spec.Seeds) == 0 {
+		return nil, errors.New("campaign: no seeds")
+	}
+	if spec.Recheck < 0 || spec.Recheck > 1 {
+		return nil, fmt.Errorf("campaign: recheck fraction %v outside [0, 1]", spec.Recheck)
+	}
+
+	// Build the grid and pre-select recheck cells deterministically, in
+	// grid order, before any work is dispatched: the selection must not
+	// depend on scheduling.
+	grid := make([]CellResult, 0, len(spec.IDs)*len(spec.Seeds))
+	for _, id := range spec.IDs {
+		for _, seed := range spec.Seeds {
+			grid = append(grid, CellResult{ID: id, Seed: seed})
+		}
+	}
+	if spec.Recheck > 0 {
+		rs := spec.RecheckSeed
+		if rs == 0 {
+			rs = defaultRecheckSeed
+		}
+		rng := sim.NewRNG(rs)
+		any := false
+		for i := range grid {
+			if rng.Bool(spec.Recheck) {
+				grid[i].Rechecked = true
+				any = true
+			}
+		}
+		if !any {
+			grid[0].Rechecked = true
+		}
+	}
+
+	jobs := spec.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(grid) {
+		jobs = len(grid)
+	}
+
+	start := time.Now()
+	tasks := make(chan int, len(grid))
+	for i := range grid {
+		tasks <- i
+	}
+	close(tasks)
+	done := make(chan int, len(grid))
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				runCell(spec.Run, &grid[i])
+				done <- i
+			}
+		}()
+	}
+
+	// Collect in the caller's goroutine, flushing the completed prefix so
+	// OnCell observes grid order regardless of completion order.
+	completed := make([]bool, len(grid))
+	next := 0
+	for range grid {
+		completed[<-done] = true
+		for next < len(grid) && completed[next] {
+			if spec.OnCell != nil {
+				spec.OnCell(grid[next])
+			}
+			next++
+		}
+	}
+	wg.Wait()
+
+	res := &Result{
+		IDs:     append([]string(nil), spec.IDs...),
+		Seeds:   append([]int64(nil), spec.Seeds...),
+		Cells:   grid,
+		Elapsed: time.Since(start),
+	}
+	var errs []error
+	for i := range grid {
+		c := &grid[i]
+		if c.Err != nil {
+			errs = append(errs, fmt.Errorf("campaign: %s seed %d: %w", c.ID, c.Seed, c.Err))
+		}
+		if c.Diverged {
+			errs = append(errs, &DivergenceError{ID: c.ID, Seed: c.Seed, First: c.Report, Second: c.RecheckReport})
+		}
+	}
+	return res, errors.Join(errs...)
+}
+
+// runCell executes one cell, including its optional determinism recheck.
+func runCell(run RunFunc, c *CellResult) {
+	t0 := time.Now()
+	c.Report, c.Err = run(c.ID, c.Seed)
+	c.Elapsed = time.Since(t0)
+	if c.Err != nil || !c.Rechecked {
+		return
+	}
+	second, err := run(c.ID, c.Seed)
+	if err != nil {
+		c.Err = fmt.Errorf("determinism recheck: %w", err)
+		return
+	}
+	if second != c.Report {
+		c.Diverged = true
+		c.RecheckReport = second
+	}
+}
+
+// Rechecked counts the cells the determinism self-check double-executed.
+func (r *Result) Rechecked() int {
+	n := 0
+	for i := range r.Cells {
+		if r.Cells[i].Rechecked {
+			n++
+		}
+	}
+	return n
+}
+
+// Divergences counts the cells whose recheck produced a different report.
+func (r *Result) Divergences() int {
+	n := 0
+	for i := range r.Cells {
+		if r.Cells[i].Diverged {
+			n++
+		}
+	}
+	return n
+}
+
+// Cell returns the result for experiment i, seed j in grid order.
+func (r *Result) Cell(i, j int) *CellResult {
+	return &r.Cells[i*len(r.Seeds)+j]
+}

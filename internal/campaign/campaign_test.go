@@ -1,0 +1,282 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRun is a deterministic stand-in experiment: its report carries a
+// table plus key:value lines derived from (id, seed).
+func fakeRun(id string, seed int64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s report ==\n", id)
+	fmt.Fprintf(&b, "scenario  delivered  p50-lat-µs\n")
+	fmt.Fprintf(&b, "--------  ---------  ----------\n")
+	fmt.Fprintf(&b, "%s  %d/10  %d.500\n", id, seed%11, seed)
+	fmt.Fprintf(&b, "\nattack paths: %d remain\n", seed*2)
+	return b.String(), nil
+}
+
+func TestSeedsHelper(t *testing.T) {
+	t.Parallel()
+	s := Seeds(42, 3)
+	if len(s) != 3 || s[0] != 42 || s[1] != 43 || s[2] != 44 {
+		t.Fatalf("Seeds(42, 3) = %v", s)
+	}
+	if got := Seeds(7, 0); len(got) != 0 {
+		t.Fatalf("Seeds(7, 0) = %v", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	t.Parallel()
+	cases := []Spec{
+		{},                                 // no Run
+		{Run: fakeRun},                     // no ids
+		{Run: fakeRun, IDs: []string{"a"}}, // no seeds
+		{Run: fakeRun, IDs: []string{"a"}, Seeds: Seeds(1, 1), Recheck: 1.5}, // bad fraction
+	}
+	for i, spec := range cases {
+		if _, err := Run(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestGridOrderAndCellLookup(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Spec{
+		IDs:   []string{"alpha", "beta"},
+		Seeds: []int64{1, 2, 3},
+		Jobs:  4,
+		Run:   fakeRun,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(res.Cells))
+	}
+	for i, id := range res.IDs {
+		for j, seed := range res.Seeds {
+			c := res.Cell(i, j)
+			if c.ID != id || c.Seed != seed {
+				t.Errorf("Cell(%d,%d) = %s/%d, want %s/%d", i, j, c.ID, c.Seed, id, seed)
+			}
+			if c.Report == "" || c.Err != nil {
+				t.Errorf("cell %s/%d incomplete", id, seed)
+			}
+		}
+	}
+}
+
+// TestJobsIndependence is the core determinism property: a pool that
+// completes cells in scrambled order must render byte-identical output
+// to a serial run, and emit OnCell callbacks in grid order.
+func TestJobsIndependence(t *testing.T) {
+	t.Parallel()
+	ids := []string{"a", "b", "c", "d"}
+	seeds := Seeds(10, 5)
+	// Delay inversely related to grid position so late cells finish first.
+	slowRun := func(id string, seed int64) (string, error) {
+		time.Sleep(time.Duration(20-seed) * time.Millisecond)
+		return fakeRun(id, seed)
+	}
+	render := func(jobs int) (string, []string) {
+		var order []string
+		res, err := Run(Spec{
+			IDs: ids, Seeds: seeds, Jobs: jobs, Recheck: 0.3, Run: slowRun,
+			OnCell: func(c CellResult) { order = append(order, fmt.Sprintf("%s/%d", c.ID, c.Seed)) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RenderSummary(), order
+	}
+	serialOut, serialOrder := render(1)
+	parOut, parOrder := render(8)
+	if serialOut != parOut {
+		t.Errorf("summary differs between -jobs 1 and -jobs 8:\n--- serial ---\n%s\n--- parallel ---\n%s", serialOut, parOut)
+	}
+	if len(parOrder) != len(ids)*len(seeds) {
+		t.Fatalf("OnCell fired %d times, want %d", len(parOrder), len(ids)*len(seeds))
+	}
+	for i := range serialOrder {
+		if serialOrder[i] != parOrder[i] {
+			t.Fatalf("OnCell order diverged at %d: %s vs %s", i, serialOrder[i], parOrder[i])
+		}
+	}
+	want := fmt.Sprintf("%s/%d", ids[0], seeds[0])
+	if parOrder[0] != want {
+		t.Errorf("first OnCell = %s, want %s", parOrder[0], want)
+	}
+}
+
+func TestRecheckSelectionDeterministicAndBounded(t *testing.T) {
+	t.Parallel()
+	spec := Spec{IDs: []string{"a", "b", "c"}, Seeds: Seeds(1, 20), Recheck: 0.25, Run: fakeRun}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Jobs = 7
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rechecked() == 0 {
+		t.Error("positive recheck fraction selected no cells")
+	}
+	if a.Rechecked() == len(a.Cells) {
+		t.Errorf("fraction 0.25 rechecked all %d cells", len(a.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Rechecked != b.Cells[i].Rechecked {
+			t.Fatalf("recheck selection differs at cell %d across worker counts", i)
+		}
+	}
+	// Full recheck double-executes every cell.
+	spec.Recheck = 1
+	var calls atomic.Int64
+	spec.Run = func(id string, seed int64) (string, error) {
+		calls.Add(1)
+		return fakeRun(id, seed)
+	}
+	c, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rechecked() != len(c.Cells) {
+		t.Errorf("recheck 1.0: %d/%d cells rechecked", c.Rechecked(), len(c.Cells))
+	}
+	if got := calls.Load(); got != int64(2*len(c.Cells)) {
+		t.Errorf("recheck 1.0 made %d calls, want %d", got, 2*len(c.Cells))
+	}
+}
+
+func TestDivergenceDetection(t *testing.T) {
+	t.Parallel()
+	// A runner that violates the determinism contract for one cell: the
+	// second execution of ("bad", 2) yields a different report.
+	var mu sync.Mutex
+	runs := map[string]int{}
+	badRun := func(id string, seed int64) (string, error) {
+		mu.Lock()
+		key := fmt.Sprintf("%s/%d", id, seed)
+		runs[key]++
+		n := runs[key]
+		mu.Unlock()
+		if id == "bad" && seed == 2 && n > 1 {
+			return "nondeterministic output", nil
+		}
+		return fakeRun(id, seed)
+	}
+	res, err := Run(Spec{
+		IDs:     []string{"ok", "bad"},
+		Seeds:   []int64{1, 2},
+		Recheck: 1, // recheck everything so the bad cell is caught
+		Run:     badRun,
+	})
+	if err == nil {
+		t.Fatal("divergence not reported as error")
+	}
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("error is not a DivergenceError: %v", err)
+	}
+	if div.ID != "bad" || div.Seed != 2 {
+		t.Errorf("divergence attributed to %s/%d, want bad/2", div.ID, div.Seed)
+	}
+	if !strings.Contains(err.Error(), "determinism violation") {
+		t.Errorf("error message lacks diagnosis: %v", err)
+	}
+	if res.Divergences() != 1 {
+		t.Errorf("Divergences() = %d, want 1", res.Divergences())
+	}
+}
+
+func TestCellErrorsJoined(t *testing.T) {
+	t.Parallel()
+	failSeed3 := func(id string, seed int64) (string, error) {
+		if seed == 3 {
+			return "", fmt.Errorf("boom at %s", id)
+		}
+		return fakeRun(id, seed)
+	}
+	res, err := Run(Spec{IDs: []string{"x", "y"}, Seeds: []int64{1, 3}, Run: failSeed3})
+	if err == nil {
+		t.Fatal("cell failures not surfaced")
+	}
+	for _, id := range []string{"x", "y"} {
+		if !strings.Contains(err.Error(), "boom at "+id) {
+			t.Errorf("joined error missing failure of %s: %v", id, err)
+		}
+	}
+	// Healthy cells still delivered their reports.
+	if res.Cell(0, 0).Err != nil || res.Cell(0, 0).Report == "" {
+		t.Error("successful cell lost its report")
+	}
+	// Failed cells are excluded from aggregation.
+	for _, es := range res.Summaries() {
+		if es.Runs != 1 {
+			t.Errorf("%s: Runs = %d, want 1", es.ID, es.Runs)
+		}
+	}
+}
+
+func TestRenderSummaryAggregates(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Spec{IDs: []string{"exp"}, Seeds: []int64{1, 2, 3}, Run: fakeRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.RenderSummary()
+	if !strings.Contains(out, "campaign: 1 experiments × 3 seeds = 3 cells") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	// "attack paths: N remain" has N = 2, 4, 6 across the seeds.
+	for _, want := range []string{"attack paths", "2", "4", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	sums := res.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	var found bool
+	for _, m := range sums[0].Metrics {
+		if m.Name == "attack paths" {
+			found = true
+			if m.Agg.N() != 3 || m.Agg.Min() != 2 || m.Agg.Max() != 6 || m.Agg.Mean() != 4 {
+				t.Errorf("attack paths agg wrong: n=%d min=%v mean=%v max=%v",
+					m.Agg.N(), m.Agg.Min(), m.Agg.Mean(), m.Agg.Max())
+			}
+		}
+	}
+	if !found {
+		t.Error("attack paths metric not aggregated")
+	}
+}
+
+func TestElapsedRecordedButNotRendered(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Spec{IDs: []string{"exp"}, Seeds: []int64{1}, Run: func(id string, seed int64) (string, error) {
+		time.Sleep(2 * time.Millisecond)
+		return fakeRun(id, seed)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0].Elapsed <= 0 || res.Elapsed <= 0 {
+		t.Error("timings not collected")
+	}
+	if strings.Contains(res.RenderSummary(), "ms") {
+		t.Error("wall-clock leaked into the deterministic summary")
+	}
+}

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"autosec/internal/sim"
+)
+
+// MetricSummary is one metric aggregated across a campaign's seeds.
+type MetricSummary struct {
+	Name string
+	Agg  sim.Agg
+}
+
+// ExperimentSummary aggregates every scraped metric of one experiment
+// across all seeds it ran at.
+type ExperimentSummary struct {
+	ID      string
+	Runs    int // successful cells that contributed metrics
+	Metrics []MetricSummary
+}
+
+// Summaries scrapes every successful cell's report and merges metrics
+// across seeds, per experiment. Metric order follows first appearance in
+// seed order, so the output is a pure function of the reports —
+// independent of how many workers produced them.
+func (r *Result) Summaries() []ExperimentSummary {
+	out := make([]ExperimentSummary, 0, len(r.IDs))
+	for i, id := range r.IDs {
+		es := ExperimentSummary{ID: id}
+		index := map[string]int{}
+		for j := range r.Seeds {
+			c := r.Cell(i, j)
+			if c.Err != nil {
+				continue
+			}
+			es.Runs++
+			for _, m := range Scrape(c.Report) {
+				k, ok := index[m.Name]
+				if !ok {
+					k = len(es.Metrics)
+					index[m.Name] = k
+					es.Metrics = append(es.Metrics, MetricSummary{Name: m.Name})
+				}
+				es.Metrics[k].Agg.Add(m.Value)
+			}
+		}
+		out = append(out, es)
+	}
+	return out
+}
+
+// RenderSummary renders the campaign's aggregate tables: a one-line
+// header with grid and self-check totals, then one min/mean/max/spread
+// table per experiment. The output contains no wall-clock data and is
+// byte-identical for any worker count.
+func (r *Result) RenderSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d experiments × %d seeds = %d cells, %d rechecked, %d divergences\n",
+		len(r.IDs), len(r.Seeds), len(r.Cells), r.Rechecked(), r.Divergences())
+	for _, es := range r.Summaries() {
+		b.WriteByte('\n')
+		tb := sim.NewTable(fmt.Sprintf("campaign — %s (%d/%d runs)", es.ID, es.Runs, len(r.Seeds)),
+			"metric", "n", "min", "mean", "max", "spread")
+		for _, m := range es.Metrics {
+			tb.AddRow(m.Name, m.Agg.N(),
+				sim.FormatG(m.Agg.Min()), sim.FormatG(m.Agg.Mean()),
+				sim.FormatG(m.Agg.Max()), sim.FormatG(m.Agg.Spread()))
+		}
+		b.WriteString(tb.String())
+	}
+	return b.String()
+}

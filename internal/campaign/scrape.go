@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metric is one named numeric value scraped from an experiment report.
+// Rate cells of the form "a/b" are recorded as the fraction a/b, so
+// attack-success and delivery rates aggregate naturally across seeds.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Scrape extracts metrics from a report in the format the experiment
+// harness emits: sim.Table blocks ("== title ==" then a header row, a
+// dashed separator, and aligned rows until a blank line) plus free-form
+// "key: value" lines. Table cells become "<row label>/<column>" metrics;
+// key lines contribute the first number after the colon. Names repeated
+// within one report get a "#2", "#3", ... suffix so metrics align
+// one-to-one across seeds. The result order follows the report, making
+// downstream aggregation deterministic.
+func Scrape(report string) []Metric {
+	var (
+		metrics []Metric
+		seen    = map[string]int{}
+	)
+	add := func(name string, v float64) {
+		seen[name]++
+		if n := seen[name]; n > 1 {
+			name += "#" + strconv.Itoa(n)
+		}
+		metrics = append(metrics, Metric{Name: name, Value: v})
+	}
+
+	lines := strings.Split(report, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		if isTableTitle(line) {
+			// Expect header + separator; otherwise treat as prose.
+			if i+2 < len(lines) && isSeparator(lines[i+2]) {
+				headers := splitColumns(lines[i+1])
+				i += 3
+				for i < len(lines) && strings.TrimSpace(lines[i]) != "" {
+					scrapeRow(lines[i], headers, add)
+					i++
+				}
+				continue
+			}
+		}
+		scrapeKeyValue(line, add)
+	}
+	return metrics
+}
+
+// isTableTitle reports whether line is a sim.Table title ("== t ==").
+func isTableTitle(line string) bool {
+	t := strings.TrimSpace(line)
+	return strings.HasPrefix(t, "== ") && strings.HasSuffix(t, " ==") && len(t) > 6
+}
+
+// isSeparator reports whether line is a table's dashed header underline.
+func isSeparator(line string) bool {
+	t := strings.TrimSpace(line)
+	if t == "" {
+		return false
+	}
+	for _, r := range t {
+		if r != '-' && r != ' ' {
+			return false
+		}
+	}
+	return strings.Contains(t, "-")
+}
+
+// columnSplit matches the ≥2-space gaps sim.Table renders between
+// columns (cell text itself only ever contains single spaces).
+var columnSplit = regexp.MustCompile(`\s{2,}`)
+
+func splitColumns(line string) []string {
+	return columnSplit.Split(strings.TrimSpace(line), -1)
+}
+
+// scrapeRow converts a table data row into metrics named
+// "<row label>/<column header>".
+func scrapeRow(line string, headers []string, add func(string, float64)) {
+	cells := splitColumns(line)
+	if len(cells) < 2 {
+		return
+	}
+	label := cells[0]
+	for j := 1; j < len(cells) && j < len(headers); j++ {
+		if v, ok := parseNumber(cells[j]); ok {
+			add(label+"/"+headers[j], v)
+		}
+	}
+}
+
+// scrapeKeyValue extracts the first number after the first colon of a
+// prose line, named by the text before the colon.
+func scrapeKeyValue(line string, add func(string, float64)) {
+	idx := strings.Index(line, ":")
+	if idx <= 0 {
+		return
+	}
+	key := strings.TrimSpace(line[:idx])
+	if key == "" {
+		return
+	}
+	for _, tok := range strings.Fields(line[idx+1:]) {
+		if v, ok := parseNumber(tok); ok {
+			add(key, v)
+			return
+		}
+	}
+}
+
+// parseNumber parses a plain float ("166.4", "2.33e-10") or an integer
+// rate "a/b" (returned as the fraction a/b). Surrounding punctuation
+// from prose ("(", "),", "×", ...) is stripped; tokens that are not
+// purely numeric ("V2X", "10B-T1S", "-") are rejected.
+func parseNumber(tok string) (float64, bool) {
+	tok = strings.Trim(tok, "(){}[],;:×%")
+	if tok == "" {
+		return 0, false
+	}
+	if num, den, ok := strings.Cut(tok, "/"); ok {
+		a, errA := strconv.ParseInt(num, 10, 64)
+		b, errB := strconv.ParseInt(den, 10, 64)
+		if errA != nil || errB != nil || b <= 0 {
+			return 0, false
+		}
+		return float64(a) / float64(b), true
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

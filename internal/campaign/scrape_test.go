@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleReport = `== Fig. 2 — UWB ranging modes under attack ==
+mode  receiver       attack      accepted  dist-manipulated  mean-err-m
+----  -------------  ----------  --------  ----------------  ----------
+HRP   naive          none        40/40     0/40              -0.042
+HRP   secure         ghost-peak  0/40      0/40              0.000
+LRP   commitment     ED/LC       0/40      0/40              -
+
+distance bounding (32 rounds): mafia-fraud guess acceptance theory 2.33e-10, pre-ask 1.00e-04
+undefended posture: 21 cross-layer attack paths to safety impact, e.g.
+  T-3rdparty → T-remote-entry → T-malware
+synergy check: deploying {SECOC, MACsec, V2X auth, misbehaviour detection} without key management leaves 4 of them ineffective
+context: classic CAN frame 118 wire bits
+no numbers here: only words
+`
+
+func metricsByName(ms []Metric) map[string]float64 {
+	out := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+func TestScrapeTableRows(t *testing.T) {
+	t.Parallel()
+	got := metricsByName(Scrape(sampleReport))
+	cases := map[string]float64{
+		"HRP/accepted":         1,      // 40/40
+		"HRP/dist-manipulated": 0,      // 0/40
+		"HRP/mean-err-m":       -0.042, // plain float
+		"HRP/accepted#2":       0,      // second HRP row, deduplicated
+		"LRP/accepted":         0,
+	}
+	for name, want := range cases {
+		v, ok := got[name]
+		if !ok {
+			t.Errorf("metric %q not scraped; have %v", name, got)
+			continue
+		}
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+	// The "-" cell must not produce a metric.
+	if _, ok := got["LRP/mean-err-m"]; ok {
+		t.Error(`"-" cell scraped as a number`)
+	}
+}
+
+func TestScrapeKeyValueLines(t *testing.T) {
+	t.Parallel()
+	got := metricsByName(Scrape(sampleReport))
+	if v := got["distance bounding (32 rounds)"]; v != 2.33e-10 {
+		t.Errorf("scientific-notation value = %v, want 2.33e-10", v)
+	}
+	if v := got["undefended posture"]; v != 21 {
+		t.Errorf("undefended posture = %v, want 21", v)
+	}
+	// "V2X" and "{SECOC," must not parse; the first true number is 4.
+	if v := got["synergy check"]; v != 4 {
+		t.Errorf("synergy check = %v, want 4", v)
+	}
+	if v := got["context"]; v != 118 {
+		t.Errorf("context = %v, want 118", v)
+	}
+	if _, ok := got["no numbers here"]; ok {
+		t.Error("line without numbers produced a metric")
+	}
+}
+
+func TestScrapeOrderStable(t *testing.T) {
+	t.Parallel()
+	a := Scrape(sampleReport)
+	b := Scrape(sampleReport)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order unstable at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	t.Parallel()
+	accept := map[string]float64{
+		"40/40":     1,
+		"0/40":      0,
+		"3/4":       0.75,
+		"166.400":   166.4,
+		"2.33e-10":  2.33e-10,
+		"(21)":      21,
+		"1.00e-04,": 1e-4,
+		"-0.042":    -0.042,
+	}
+	for tok, want := range accept {
+		v, ok := parseNumber(tok)
+		if !ok || math.Abs(v-want) > 1e-15 {
+			t.Errorf("parseNumber(%q) = %v, %v; want %v, true", tok, v, ok, want)
+		}
+	}
+	for _, tok := range []string{"-", "yes", "V2X", "10B-T1S", "a/b", "1/0", "", "e.g."} {
+		if v, ok := parseNumber(tok); ok {
+			t.Errorf("parseNumber(%q) accepted as %v", tok, v)
+		}
+	}
+}

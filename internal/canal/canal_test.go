@@ -21,6 +21,7 @@ func ethFrame(n int) *ethernet.Frame {
 }
 
 func TestSingleSegmentOverXL(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.XL, 0x200)
 	rx := NewAdapter(1, canbus.XL, 0x200)
 	segs, err := tx.Segment(ethFrame(1400))
@@ -40,6 +41,7 @@ func TestSingleSegmentOverXL(t *testing.T) {
 }
 
 func TestMultiSegmentOverFD(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.FD, 0x200)
 	rx := NewAdapter(1, canbus.FD, 0x200)
 	orig := ethFrame(500)
@@ -72,6 +74,7 @@ func TestMultiSegmentOverFD(t *testing.T) {
 }
 
 func TestOutOfOrderReassembly(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.FD, 0x200)
 	rx := NewAdapter(1, canbus.FD, 0x200)
 	segs, err := tx.Segment(ethFrame(300))
@@ -95,6 +98,7 @@ func TestOutOfOrderReassembly(t *testing.T) {
 }
 
 func TestMissingSegmentNeverCompletes(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.FD, 0x200)
 	rx := NewAdapter(1, canbus.FD, 0x200)
 	segs, err := tx.Segment(ethFrame(300))
@@ -119,6 +123,7 @@ func TestMissingSegmentNeverCompletes(t *testing.T) {
 }
 
 func TestForeignStreamIgnored(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.XL, 0x200)
 	rx := NewAdapter(2, canbus.XL, 0x200)
 	segs, err := tx.Segment(ethFrame(100))
@@ -138,6 +143,7 @@ func TestForeignStreamIgnored(t *testing.T) {
 }
 
 func TestInterleavedFramesReassemble(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.FD, 0x200)
 	rx := NewAdapter(1, canbus.FD, 0x200)
 	f1 := ethFrame(200)
@@ -174,6 +180,7 @@ func TestInterleavedFramesReassemble(t *testing.T) {
 }
 
 func TestSegmentOversizeErrors(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(1, canbus.XL, 0x200)
 	bad := ethFrame(ethernet.MaxPayload + 1)
 	if _, err := tx.Segment(bad); err == nil {
@@ -182,6 +189,7 @@ func TestSegmentOversizeErrors(t *testing.T) {
 }
 
 func TestAcceptMalformedSegment(t *testing.T) {
+	t.Parallel()
 	rx := NewAdapter(1, canbus.XL, 0x200)
 	short := &canbus.Frame{ID: 1, Format: canbus.XL, SDUType: canbus.SDUEthernet, Payload: []byte{1, 2}}
 	if _, err := rx.Accept(short); err == nil {
@@ -190,6 +198,7 @@ func TestAcceptMalformedSegment(t *testing.T) {
 }
 
 func TestSegmentOverheadBytes(t *testing.T) {
+	t.Parallel()
 	a := NewAdapter(1, canbus.XL, 0x200)
 	oh, err := a.SegmentOverheadBytes(1516)
 	if err != nil {
@@ -209,6 +218,7 @@ func TestSegmentOverheadBytes(t *testing.T) {
 }
 
 func TestMaxSegmentPayloadAblation(t *testing.T) {
+	t.Parallel()
 	a := NewAdapter(1, canbus.XL, 0x200)
 	a.MaxSegmentPayload = 64
 	segs, err := a.Segment(ethFrame(200))
@@ -221,6 +231,7 @@ func TestMaxSegmentPayloadAblation(t *testing.T) {
 }
 
 func TestPropertyRoundTripAnyPayload(t *testing.T) {
+	t.Parallel()
 	tx := NewAdapter(3, canbus.FD, 0x100)
 	rx := NewAdapter(3, canbus.FD, 0x100)
 	f := func(payload []byte) bool {

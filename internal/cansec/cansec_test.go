@@ -20,6 +20,7 @@ func zonePair(t *testing.T, mode Mode) (*Endpoint, *Endpoint) {
 }
 
 func TestProtectVerifyAuthOnly(t *testing.T) {
+	t.Parallel()
 	a, b := zonePair(t, AuthOnly)
 	f, err := a.Protect(0x100, []byte("wheel speeds"))
 	if err != nil {
@@ -41,6 +42,7 @@ func TestProtectVerifyAuthOnly(t *testing.T) {
 }
 
 func TestProtectVerifyEncrypted(t *testing.T) {
+	t.Parallel()
 	a, b := zonePair(t, AuthEncrypt)
 	f, err := a.Protect(0x100, []byte("secret diagnostic"))
 	if err != nil {
@@ -59,6 +61,7 @@ func TestProtectVerifyEncrypted(t *testing.T) {
 }
 
 func TestVerifyRejectsReplay(t *testing.T) {
+	t.Parallel()
 	a, b := zonePair(t, AuthOnly)
 	f, err := a.Protect(0x100, []byte("x"))
 	if err != nil {
@@ -73,6 +76,7 @@ func TestVerifyRejectsReplay(t *testing.T) {
 }
 
 func TestVerifyRejectsTamper(t *testing.T) {
+	t.Parallel()
 	for _, mode := range []Mode{AuthOnly, AuthEncrypt} {
 		a, b := zonePair(t, mode)
 		f, err := a.Protect(0x100, []byte("brake"))
@@ -87,6 +91,7 @@ func TestVerifyRejectsTamper(t *testing.T) {
 }
 
 func TestVerifyRejectsWrongZone(t *testing.T) {
+	t.Parallel()
 	a, _ := zonePair(t, AuthOnly)
 	z2, err := NewZone(8, AuthOnly, key)
 	if err != nil {
@@ -103,6 +108,7 @@ func TestVerifyRejectsWrongZone(t *testing.T) {
 }
 
 func TestVerifyRejectsForgedKey(t *testing.T) {
+	t.Parallel()
 	_, b := zonePair(t, AuthOnly)
 	zAtt, err := NewZone(7, AuthOnly, []byte("attacker-key-16b"))
 	if err != nil {
@@ -119,6 +125,7 @@ func TestVerifyRejectsForgedKey(t *testing.T) {
 }
 
 func TestPerSenderFreshnessSpaces(t *testing.T) {
+	t.Parallel()
 	z, err := NewZone(7, AuthOnly, key)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +149,7 @@ func TestPerSenderFreshnessSpaces(t *testing.T) {
 }
 
 func TestWindowBoundsLoss(t *testing.T) {
+	t.Parallel()
 	a, b := zonePair(t, AuthOnly)
 	b.Window = 4
 	var f *canbus.Frame
@@ -158,6 +166,7 @@ func TestWindowBoundsLoss(t *testing.T) {
 }
 
 func TestVerifyRejectsNonCANsecSDU(t *testing.T) {
+	t.Parallel()
 	_, b := zonePair(t, AuthOnly)
 	f := &canbus.Frame{ID: 1, Format: canbus.XL, SDUType: canbus.SDUData, Payload: make([]byte, 64)}
 	if _, err := b.Verify(f); err == nil {
@@ -170,12 +179,14 @@ func TestVerifyRejectsNonCANsecSDU(t *testing.T) {
 }
 
 func TestNewZoneValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewZone(1, AuthOnly, []byte("short")); err == nil {
 		t.Error("short key accepted")
 	}
 }
 
 func TestPropertyRoundTrip(t *testing.T) {
+	t.Parallel()
 	a, b := zonePair(t, AuthEncrypt)
 	f := func(payload []byte) bool {
 		if len(payload) > 2048-Overhead {

@@ -6,6 +6,7 @@ import (
 )
 
 func TestRegistryHasAllPaperArtefacts(t *testing.T) {
+	t.Parallel()
 	want := []string{"fig1", "fig2", "fig3", "tab1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"exp-ca", "exp-collab", "exp-ids", "exp-access", "exp-ptp", "exp-v2x", "exp-ota", "exp-tara", "exp-vehicle", "exp-zc", "exp-stealth",
 		"ablate-mac", "ablate-fv", "ablate-sts", "ablate-canal", "ablate-k", "ablate-ids", "ablate-scale"}
@@ -24,6 +25,7 @@ func TestRegistryHasAllPaperArtefacts(t *testing.T) {
 }
 
 func TestRunExperimentUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := RunExperiment("fig99", 1); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
@@ -32,6 +34,7 @@ func TestRunExperimentUnknown(t *testing.T) {
 // TestAllExperimentsRun executes every experiment once and checks for
 // the landmark strings that make the output a faithful regeneration.
 func TestAllExperimentsRun(t *testing.T) {
+	t.Parallel()
 	landmarks := map[string][]string{
 		"fig1":         {"physical", "collaboration", "attack paths", "synergy"},
 		"fig2":         {"HRP", "LRP", "ghost-peak", "ED/LC"},
@@ -84,6 +87,7 @@ func TestAllExperimentsRun(t *testing.T) {
 // TestExperimentsDeterministic ensures the same seed reproduces the same
 // report byte for byte.
 func TestExperimentsDeterministic(t *testing.T) {
+	t.Parallel()
 	for _, id := range []string{"fig2", "fig6", "fig8", "exp-collab"} {
 		a, err := RunExperiment(id, 7)
 		if err != nil {
@@ -102,6 +106,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 // TestKeyExperimentClaims pins the qualitative claims the paper makes:
 // who wins, and roughly by what margin.
 func TestKeyExperimentClaims(t *testing.T) {
+	t.Parallel()
 	out, err := RunExperiment("fig8", 42)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@ import (
 // which the fleet rejects all its messages — the paper's "comprehensive
 // intrusion detection" requirement realized end to end.
 func TestCrossLayerMisbehaviourToRevocation(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(99)
 
 	// V2X identity layer.

@@ -15,6 +15,7 @@ func catalog(t *testing.T) *Catalog {
 }
 
 func TestDefaultCatalogCoversAllLayers(t *testing.T) {
+	t.Parallel()
 	c := catalog(t)
 	for _, l := range Layers() {
 		if len(c.ThreatsAt(l)) == 0 {
@@ -30,6 +31,7 @@ func TestDefaultCatalogCoversAllLayers(t *testing.T) {
 }
 
 func TestCatalogValidation(t *testing.T) {
+	t.Parallel()
 	c := NewCatalog()
 	if err := c.AddThreat(&Threat{}); err == nil {
 		t.Error("empty threat ID accepted")
@@ -53,6 +55,7 @@ func TestCatalogValidation(t *testing.T) {
 }
 
 func TestFullDeploymentMitigatesEverything(t *testing.T) {
+	t.Parallel()
 	c := catalog(t)
 	p, err := FullDeployment(c)
 	if err != nil {
@@ -72,6 +75,7 @@ func TestFullDeploymentMitigatesEverything(t *testing.T) {
 }
 
 func TestEmptyPostureHasSafetyPaths(t *testing.T) {
+	t.Parallel()
 	c := catalog(t)
 	p := NewPosture(c)
 	paths := p.AttackPaths()
@@ -92,6 +96,7 @@ func TestEmptyPostureHasSafetyPaths(t *testing.T) {
 }
 
 func TestSynergyDependencyDisablesDefence(t *testing.T) {
+	t.Parallel()
 	c := catalog(t)
 	p := NewPosture(c)
 	// SECOC without key management is deployed but ineffective — the
@@ -120,6 +125,7 @@ func TestSynergyDependencyDisablesDefence(t *testing.T) {
 }
 
 func TestTransitiveSynergy(t *testing.T) {
+	t.Parallel()
 	c := catalog(t)
 	p := NewPosture(c)
 	// D-misbehaviour requires D-v2x-auth which requires D-key-mgmt.
@@ -138,6 +144,7 @@ func TestTransitiveSynergy(t *testing.T) {
 }
 
 func TestCoverageByLayer(t *testing.T) {
+	t.Parallel()
 	c := catalog(t)
 	p := NewPosture(c)
 	// Full data-layer hardening: D-secret-sharing needs key management
@@ -161,6 +168,7 @@ func TestCoverageByLayer(t *testing.T) {
 }
 
 func TestSingleLayerHardeningLeavesCrossLayerPaths(t *testing.T) {
+	t.Parallel()
 	// The paper's core argument: hardening one layer is not enough.
 	c := catalog(t)
 	p := NewPosture(c)
@@ -187,6 +195,7 @@ func TestSingleLayerHardeningLeavesCrossLayerPaths(t *testing.T) {
 }
 
 func TestDeployUnknownDefence(t *testing.T) {
+	t.Parallel()
 	p := NewPosture(catalog(t))
 	if err := p.Deploy("D-nonexistent"); err == nil {
 		t.Error("unknown defence deployed")
@@ -194,6 +203,7 @@ func TestDeployUnknownDefence(t *testing.T) {
 }
 
 func TestLayerStrings(t *testing.T) {
+	t.Parallel()
 	for _, l := range Layers() {
 		if strings.HasPrefix(l.String(), "Layer(") {
 			t.Errorf("layer %d unnamed", int(l))

@@ -10,6 +10,7 @@ import (
 // order within the window verifies exactly once, and re-delivery of any
 // accepted PDU always fails.
 func TestPropertyLossyInOrderDeliveryExactlyOnce(t *testing.T) {
+	t.Parallel()
 	f := func(lossPattern []bool) bool {
 		if len(lossPattern) > 60 {
 			lossPattern = lossPattern[:60]

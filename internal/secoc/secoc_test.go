@@ -22,6 +22,7 @@ func pair(t *testing.T, cfg Config) (*Sender, *Receiver) {
 }
 
 func TestProtectVerifyRoundTrip(t *testing.T) {
+	t.Parallel()
 	s, r := pair(t, DefaultConfig(0x10))
 	payload := []byte{0x12, 0x34, 0x56}
 	pdu, err := s.Protect(payload)
@@ -41,6 +42,7 @@ func TestProtectVerifyRoundTrip(t *testing.T) {
 }
 
 func TestVerifyRejectsReplay(t *testing.T) {
+	t.Parallel()
 	s, r := pair(t, DefaultConfig(0x10))
 	pdu, err := s.Protect([]byte{1})
 	if err != nil {
@@ -55,6 +57,7 @@ func TestVerifyRejectsReplay(t *testing.T) {
 }
 
 func TestVerifyRejectsTamper(t *testing.T) {
+	t.Parallel()
 	s, r := pair(t, DefaultConfig(0x10))
 	pdu, err := s.Protect([]byte{0x01, 0x02})
 	if err != nil {
@@ -68,6 +71,7 @@ func TestVerifyRejectsTamper(t *testing.T) {
 }
 
 func TestVerifyRejectsWrongDataID(t *testing.T) {
+	t.Parallel()
 	s, _ := pair(t, DefaultConfig(0x10))
 	_, r2 := pair(t, DefaultConfig(0x11))
 	pdu, err := s.Protect([]byte{1, 2, 3})
@@ -80,6 +84,7 @@ func TestVerifyRejectsWrongDataID(t *testing.T) {
 }
 
 func TestVerifyToleratesLossWithinWindow(t *testing.T) {
+	t.Parallel()
 	s, r := pair(t, DefaultConfig(0x10))
 	// Drop 10 PDUs, then deliver the 11th: within window 64.
 	var pdu []byte
@@ -99,6 +104,7 @@ func TestVerifyToleratesLossWithinWindow(t *testing.T) {
 }
 
 func TestVerifyRejectsBeyondWindow(t *testing.T) {
+	t.Parallel()
 	cfg := DefaultConfig(0x10)
 	cfg.AcceptWindow = 4
 	s, r := pair(t, cfg)
@@ -116,6 +122,7 @@ func TestVerifyRejectsBeyondWindow(t *testing.T) {
 }
 
 func TestOutOfOrderOlderPDURejected(t *testing.T) {
+	t.Parallel()
 	s, r := pair(t, DefaultConfig(0x10))
 	p1, _ := s.Protect([]byte{1})
 	p2, _ := s.Protect([]byte{2})
@@ -128,6 +135,7 @@ func TestOutOfOrderOlderPDURejected(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := []Config{
 		{DataID: 1, MACBits: 0, FreshnessBits: 8},
 		{DataID: 1, MACBits: 7, FreshnessBits: 8},
@@ -149,6 +157,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestVerifyShortPDU(t *testing.T) {
+	t.Parallel()
 	_, r := pair(t, DefaultConfig(1))
 	if _, err := r.Verify([]byte{1, 2}); err == nil {
 		t.Error("short PDU accepted")
@@ -156,6 +165,7 @@ func TestVerifyShortPDU(t *testing.T) {
 }
 
 func TestOverheadMatchesConfig(t *testing.T) {
+	t.Parallel()
 	cfg := Config{DataID: 1, MACBits: 64, FreshnessBits: 16, AcceptWindow: 16}
 	if cfg.Overhead() != 10 {
 		t.Errorf("overhead = %d, want 10", cfg.Overhead())
@@ -163,6 +173,7 @@ func TestOverheadMatchesConfig(t *testing.T) {
 }
 
 func TestPropertyProtectVerifyStream(t *testing.T) {
+	t.Parallel()
 	s, r := pair(t, DefaultConfig(0x42))
 	f := func(payload []byte) bool {
 		pdu, err := s.Protect(payload)
@@ -178,6 +189,7 @@ func TestPropertyProtectVerifyStream(t *testing.T) {
 }
 
 func TestForgeryWithoutKeyFails(t *testing.T) {
+	t.Parallel()
 	_, r := pair(t, DefaultConfig(0x10))
 	attacker, err := NewSender(DefaultConfig(0x10), []byte("wrong-key-123456"))
 	if err != nil {

@@ -1,0 +1,59 @@
+package sim
+
+import "strconv"
+
+// Agg is a streaming min/mean/max accumulator for aggregating one metric
+// across many simulation runs (e.g. the same attack-success rate measured
+// at N different seeds). The zero value is ready to use. Add order does
+// not affect Min, Max, or N; Mean is a plain running sum, so callers that
+// need bit-identical means across runs must feed samples in a fixed
+// order.
+type Agg struct {
+	n        int
+	sum      float64
+	min, max float64
+}
+
+// Add records one sample.
+func (a *Agg) Add(v float64) {
+	if a.n == 0 || v < a.min {
+		a.min = v
+	}
+	if a.n == 0 || v > a.max {
+		a.max = v
+	}
+	a.sum += v
+	a.n++
+}
+
+// N returns the number of samples recorded.
+func (a *Agg) N() int { return a.n }
+
+// Min returns the smallest sample (0 if empty).
+func (a *Agg) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 if empty).
+func (a *Agg) Max() float64 { return a.max }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (a *Agg) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Spread returns Max − Min: a cheap dispersion indicator that is exactly
+// zero when a metric is seed-invariant.
+func (a *Agg) Spread() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max - a.min
+}
+
+// FormatG renders v in compact %g form with enough digits to be stable
+// and diffable in golden reports (strconv 'g', precision 6).
+func FormatG(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

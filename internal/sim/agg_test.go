@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggEmpty(t *testing.T) {
+	t.Parallel()
+	var a Agg
+	if a.N() != 0 || a.Min() != 0 || a.Max() != 0 || a.Mean() != 0 || a.Spread() != 0 {
+		t.Errorf("zero Agg not all-zero: %+v", a)
+	}
+}
+
+func TestAggStats(t *testing.T) {
+	t.Parallel()
+	var a Agg
+	for _, v := range []float64{3, -1, 4, 1.5, 0.5} {
+		a.Add(v)
+	}
+	if a.N() != 5 {
+		t.Errorf("N = %d, want 5", a.N())
+	}
+	if a.Min() != -1 || a.Max() != 4 {
+		t.Errorf("min/max = %v/%v, want -1/4", a.Min(), a.Max())
+	}
+	if math.Abs(a.Mean()-1.6) > 1e-12 {
+		t.Errorf("mean = %v, want 1.6", a.Mean())
+	}
+	if a.Spread() != 5 {
+		t.Errorf("spread = %v, want 5", a.Spread())
+	}
+}
+
+func TestAggSingleNegative(t *testing.T) {
+	t.Parallel()
+	var a Agg
+	a.Add(-2.5)
+	if a.Min() != -2.5 || a.Max() != -2.5 || a.Mean() != -2.5 || a.Spread() != 0 {
+		t.Errorf("single-sample Agg wrong: %+v", a)
+	}
+}
+
+func TestFormatG(t *testing.T) {
+	t.Parallel()
+	cases := map[float64]string{
+		1:        "1",
+		0.5:      "0.5",
+		166.4:    "166.4",
+		2.33e-10: "2.33e-10",
+	}
+	for v, want := range cases {
+		if got := FormatG(v); got != want {
+			t.Errorf("FormatG(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ func newCloud(cfg Config) *Cloud {
 }
 
 func TestFleetConstruction(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	if c.Fleet() != 50 {
 		t.Errorf("fleet %d", c.Fleet())
@@ -22,6 +23,7 @@ func TestFleetConstruction(t *testing.T) {
 }
 
 func TestProbeUnknownPath404(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	if status, _ := c.Probe("/nonexistent"); status != 404 {
 		t.Errorf("status %d", status)
@@ -29,6 +31,7 @@ func TestProbeUnknownPath404(t *testing.T) {
 }
 
 func TestProbeHeapDumpExposure(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	status, body := c.Probe("/actuator/heapdump")
 	if status != 200 {
@@ -45,6 +48,7 @@ func TestProbeHeapDumpExposure(t *testing.T) {
 }
 
 func TestHeapDumpWithoutSecretsInMemory(t *testing.T) {
+	t.Parallel()
 	cfg := WorstCase()
 	cfg.SecretsInMemory = false
 	c := newCloud(cfg)
@@ -55,6 +59,7 @@ func TestHeapDumpWithoutSecretsInMemory(t *testing.T) {
 }
 
 func TestEnumerationDefence(t *testing.T) {
+	t.Parallel()
 	open := newCloud(WorstCase())
 	if got := open.EnumeratePaths(64); len(got) < 5 {
 		t.Errorf("undefended enumeration found only %d paths", len(got))
@@ -68,6 +73,7 @@ func TestEnumerationDefence(t *testing.T) {
 }
 
 func TestEnumerationBudget(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	if got := c.EnumeratePaths(2); len(got) != 2 {
 		t.Errorf("budget ignored: %d", len(got))
@@ -75,6 +81,7 @@ func TestEnumerationBudget(t *testing.T) {
 }
 
 func TestMintTokenScopes(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	if _, err := c.MintToken("wrong", ""); err == nil {
 		t.Error("invalid key minted a token")
@@ -93,6 +100,7 @@ func TestMintTokenScopes(t *testing.T) {
 }
 
 func TestLeastPrivilegeBlocksFleetScope(t *testing.T) {
+	t.Parallel()
 	cfg := WorstCase()
 	cfg.MasterKeyOverPrivileged = false
 	c := newCloud(cfg)
@@ -114,6 +122,7 @@ func TestLeastPrivilegeBlocksFleetScope(t *testing.T) {
 }
 
 func TestMintTokenUnknownVIN(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	if _, err := c.MintToken("AKIA-MASTER-0xFLEET", "UNKNOWN"); err == nil {
 		t.Error("unknown VIN scope accepted")
@@ -121,6 +130,7 @@ func TestMintTokenUnknownVIN(t *testing.T) {
 }
 
 func TestFetchInvalidToken(t *testing.T) {
+	t.Parallel()
 	c := newCloud(WorstCase())
 	if _, err := c.Fetch("junk"); err == nil {
 		t.Error("invalid token accepted")
@@ -128,6 +138,7 @@ func TestFetchInvalidToken(t *testing.T) {
 }
 
 func TestLocationPrecision(t *testing.T) {
+	t.Parallel()
 	precise := newCloud(WorstCase())
 	tok, _ := precise.MintToken("AKIA-MASTER-0xFLEET", "")
 	recs, _ := precise.Fetch(tok)

@@ -11,6 +11,7 @@ import (
 var testKey = []byte("0123456789abcdef")
 
 func TestNewSTSDeterministicPerSession(t *testing.T) {
+	t.Parallel()
 	a, err := NewSTS(testKey, 7, 256)
 	if err != nil {
 		t.Fatal(err)
@@ -35,6 +36,7 @@ func TestNewSTSDeterministicPerSession(t *testing.T) {
 }
 
 func TestNewSTSBalance(t *testing.T) {
+	t.Parallel()
 	s, err := NewSTS(testKey, 1, 4096)
 	if err != nil {
 		t.Fatal(err)
@@ -49,6 +51,7 @@ func TestNewSTSBalance(t *testing.T) {
 }
 
 func TestNewSTSErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := NewSTS(testKey, 1, 0); err == nil {
 		t.Error("zero-length STS accepted")
 	}
@@ -58,6 +61,7 @@ func TestNewSTSErrors(t *testing.T) {
 }
 
 func TestCorrelatePeakAtArrival(t *testing.T) {
+	t.Parallel()
 	sts, _ := NewSTS(testKey, 3, 128)
 	tx := sts.Waveform()
 	rng := sim.NewRNG(1)
@@ -74,6 +78,7 @@ func TestCorrelatePeakAtArrival(t *testing.T) {
 }
 
 func TestChannelMultipathAddsTaps(t *testing.T) {
+	t.Parallel()
 	sts, _ := NewSTS(testKey, 3, 128)
 	tx := sts.Waveform()
 	rng := sim.NewRNG(1)
@@ -90,6 +95,7 @@ func TestChannelMultipathAddsTaps(t *testing.T) {
 }
 
 func TestBenignRangingAccuracy(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(42)
 	for _, dist := range []float64{1, 10, 50, 150} {
 		s := Session{
@@ -111,6 +117,7 @@ func TestBenignRangingAccuracy(t *testing.T) {
 }
 
 func TestGhostPeakReducesDistanceOnNaiveReceiver(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(7)
 	succ := 0
 	const trials = 60
@@ -135,6 +142,7 @@ func TestGhostPeakReducesDistanceOnNaiveReceiver(t *testing.T) {
 }
 
 func TestGhostPeakDefeatedBySecureReceiver(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(7)
 	succ := 0
 	const trials = 60
@@ -159,6 +167,7 @@ func TestGhostPeakDefeatedBySecureReceiver(t *testing.T) {
 }
 
 func TestOvershadowEnlargesOnNaivePeakReceiver(t *testing.T) {
+	t.Parallel()
 	// A receiver keyed on the strongest path follows the late replica:
 	// with a relative first-path threshold, the weak legit path falls
 	// below threshold of the amplified replay.
@@ -179,6 +188,7 @@ func TestOvershadowEnlargesOnNaivePeakReceiver(t *testing.T) {
 }
 
 func TestEnlargementGuardDetectsJamReplay(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(11)
 	detected := 0
 	const trials = 40
@@ -203,6 +213,7 @@ func TestEnlargementGuardDetectsJamReplay(t *testing.T) {
 }
 
 func TestSecureToARejectsNoise(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(13)
 	sts, _ := NewSTS(testKey, 1, 256)
 	rx := make(Signal, 4096)
@@ -216,6 +227,7 @@ func TestSecureToARejectsNoise(t *testing.T) {
 }
 
 func TestConsistencyHighAtTrueToA(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(17)
 	sts, _ := NewSTS(testKey, 1, 256)
 	tx := sts.Waveform()
@@ -232,6 +244,7 @@ func TestConsistencyHighAtTrueToA(t *testing.T) {
 }
 
 func TestSignalAddGrows(t *testing.T) {
+	t.Parallel()
 	s := Signal{1, 2}
 	s = s.Add(Signal{1, 1, 1}, 4)
 	if len(s) != 7 || s[4] != 1 || s[0] != 1 {
@@ -240,6 +253,7 @@ func TestSignalAddGrows(t *testing.T) {
 }
 
 func TestSignalEnergyBounds(t *testing.T) {
+	t.Parallel()
 	s := Signal{1, 2, 3}
 	if e := s.Energy(-5, 100); e != 14 {
 		t.Errorf("energy %v", e)
@@ -250,6 +264,7 @@ func TestSignalEnergyBounds(t *testing.T) {
 }
 
 func TestMetreSampleConversionRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(n uint16) bool {
 		samples := int(n % 5000)
 		m := SamplesToMetres(samples)
@@ -261,6 +276,7 @@ func TestMetreSampleConversionRoundTrip(t *testing.T) {
 }
 
 func TestLRPBenignExchange(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(21)
 	resp := make([]byte, 8)
 	rng.Bytes(resp)
@@ -283,6 +299,7 @@ func TestLRPBenignExchange(t *testing.T) {
 }
 
 func TestLRPEDLCDefeatedByCommitment(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(23)
 	succ := 0
 	const trials = 50
@@ -310,6 +327,7 @@ func TestLRPEDLCDefeatedByCommitment(t *testing.T) {
 }
 
 func TestLRPEDLCSucceedsWithoutCommitment(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(25)
 	succ := 0
 	const trials = 30
@@ -336,6 +354,7 @@ func TestLRPEDLCSucceedsWithoutCommitment(t *testing.T) {
 }
 
 func TestLRPValidation(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(1)
 	s := LRPSession{Channel: Channel{DistanceM: 5}, ResponseBits: 64}
 	if _, err := s.MeasureLRP([]byte{1}, nil, rng); err == nil {
@@ -344,6 +363,7 @@ func TestLRPValidation(t *testing.T) {
 }
 
 func TestSessionMeasureBadKey(t *testing.T) {
+	t.Parallel()
 	rng := sim.NewRNG(1)
 	s := Session{Key: []byte("x"), Pulses: 64, Channel: Channel{DistanceM: 5}}
 	if _, err := s.Measure(nil, rng); err == nil {

@@ -20,6 +20,7 @@ func mustHex(t *testing.T, s string) []byte {
 }
 
 func TestCMACRFC4493Vectors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name string
 		msg  string
@@ -44,12 +45,14 @@ func TestCMACRFC4493Vectors(t *testing.T) {
 }
 
 func TestCMACRejectsBadKey(t *testing.T) {
+	t.Parallel()
 	if _, err := CMAC([]byte("short"), nil); err == nil {
 		t.Error("bad key accepted")
 	}
 }
 
 func TestTruncatedCMACLengths(t *testing.T) {
+	t.Parallel()
 	msg := []byte("autosec frame payload")
 	for _, bits := range []int{24, 32, 64, 128} {
 		mac, err := TruncatedCMAC(rfc4493Key, msg, bits)
@@ -67,6 +70,7 @@ func TestTruncatedCMACLengths(t *testing.T) {
 }
 
 func TestTruncatedCMACInvalidBits(t *testing.T) {
+	t.Parallel()
 	for _, bits := range []int{0, -8, 7, 129, 136} {
 		if _, err := TruncatedCMAC(rfc4493Key, nil, bits); err == nil {
 			t.Errorf("bits=%d accepted", bits)
@@ -75,6 +79,7 @@ func TestTruncatedCMACInvalidBits(t *testing.T) {
 }
 
 func TestVerifyTruncatedCMACRejectsTamper(t *testing.T) {
+	t.Parallel()
 	msg := []byte("engine rpm = 3000")
 	mac, err := TruncatedCMAC(rfc4493Key, msg, 64)
 	if err != nil {
@@ -93,6 +98,7 @@ func TestVerifyTruncatedCMACRejectsTamper(t *testing.T) {
 }
 
 func TestCMACPropertyVerifyRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(msg []byte) bool {
 		mac, err := TruncatedCMAC(rfc4493Key, msg, 64)
 		if err != nil {
@@ -107,6 +113,7 @@ func TestCMACPropertyVerifyRoundTrip(t *testing.T) {
 }
 
 func TestCMACDistinguishesMessages(t *testing.T) {
+	t.Parallel()
 	f := func(a, b []byte) bool {
 		if bytes.Equal(a, b) {
 			return true
@@ -121,6 +128,7 @@ func TestCMACDistinguishesMessages(t *testing.T) {
 }
 
 func TestDeriveKeyDeterministicAndDistinct(t *testing.T) {
+	t.Parallel()
 	root := []byte("0123456789abcdef")
 	a := DeriveKey(root, "macsec-sak", "link-1", 16)
 	b := DeriveKey(root, "macsec-sak", "link-1", 16)
@@ -138,6 +146,7 @@ func TestDeriveKeyDeterministicAndDistinct(t *testing.T) {
 }
 
 func TestDeriveKeyLengths(t *testing.T) {
+	t.Parallel()
 	root := []byte("0123456789abcdef")
 	for _, n := range []int{1, 16, 32, 33, 64, 100} {
 		if got := len(DeriveKey(root, "l", "c", n)); got != n {
@@ -150,6 +159,7 @@ func TestDeriveKeyLengths(t *testing.T) {
 }
 
 func TestDeriveKeyLabelContextNotConfusable(t *testing.T) {
+	t.Parallel()
 	// ("ab","c") must differ from ("a","bc"): the separator byte matters.
 	root := []byte("0123456789abcdef")
 	a := DeriveKey(root, "ab", "c", 16)
@@ -160,6 +170,7 @@ func TestDeriveKeyLabelContextNotConfusable(t *testing.T) {
 }
 
 func TestKeyHierarchy(t *testing.T) {
+	t.Parallel()
 	h, err := NewKeyHierarchy([]byte("an-oem-master-secret-with-entropy"))
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +192,7 @@ func TestKeyHierarchy(t *testing.T) {
 }
 
 func TestGCMSealOpenRoundTrip(t *testing.T) {
+	t.Parallel()
 	key := DeriveKey([]byte("0123456789abcdef"), "gcm", "t", 16)
 	pt := []byte("wheel speed frame")
 	aad := []byte{0x88, 0xe5, 0x2c}
@@ -198,6 +210,7 @@ func TestGCMSealOpenRoundTrip(t *testing.T) {
 }
 
 func TestGCMOpenRejectsWrongPNOrAAD(t *testing.T) {
+	t.Parallel()
 	key := DeriveKey([]byte("0123456789abcdef"), "gcm", "t", 16)
 	sealed, err := GCMSeal(key, 1, 42, []byte("aad"), []byte("payload"))
 	if err != nil {
@@ -215,6 +228,7 @@ func TestGCMOpenRejectsWrongPNOrAAD(t *testing.T) {
 }
 
 func TestGCMTagVerify(t *testing.T) {
+	t.Parallel()
 	key := DeriveKey([]byte("0123456789abcdef"), "gcm", "t", 16)
 	msg := []byte("integrity-only frame")
 	tag, err := GCMTag(key, 7, 1, msg)
@@ -236,6 +250,7 @@ func TestGCMTagVerify(t *testing.T) {
 }
 
 func TestGCMPropertyRoundTrip(t *testing.T) {
+	t.Parallel()
 	key := DeriveKey([]byte("0123456789abcdef"), "gcm", "q", 16)
 	f := func(pt, aad []byte, pn uint32) bool {
 		sealed, err := GCMSeal(key, 5, pn, aad, pt)

@@ -4,9 +4,16 @@
 // Usage:
 //
 //	avsec list                 # show all experiments
-//	avsec run <id> [-seed N]   # run one experiment (e.g. fig8)
+//	avsec run <id> [flags]     # run one experiment (e.g. fig8)
 //	avsec all [flags]          # run everything in paper order
 //	avsec campaign [flags]     # multi-seed statistical campaign
+//
+// Observability: `run` accepts -trace=<file> (JSONL structured trace of
+// every scheduled/executed event, metric sample, and RNG checkpoint),
+// -json/-csv=<file> (the run's typed metrics), and -cpuprofile /
+// -memprofile (pprof). `all` and `campaign` accept -json=<file> for
+// machine-readable results. All of it is deterministic: the same seed
+// produces byte-identical traces, metrics, and reports.
 //
 // Both `all` and `campaign` fan work out over a bounded worker pool and
 // re-execute a fraction of (experiment, seed) cells to enforce the sim
@@ -15,12 +22,19 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"autosec/internal/campaign"
 	"autosec/internal/core"
+	"autosec/internal/docs"
+	"autosec/internal/sim"
 	"autosec/internal/sos"
 )
 
@@ -35,21 +49,7 @@ func main() {
 			fmt.Printf("%-13s %-10s %s\n", e.ID, e.Source, e.Title)
 		}
 	case "run":
-		fs := flag.NewFlagSet("run", flag.ExitOnError)
-		seed := fs.Int64("seed", 42, "deterministic simulation seed")
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
-		}
-		if fs.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "avsec run: need exactly one experiment id (try 'avsec list')")
-			os.Exit(2)
-		}
-		out, err := core.RunExperiment(fs.Arg(0), *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "avsec:", err)
-			os.Exit(1)
-		}
-		fmt.Println(out)
+		runOne(os.Args[2:])
 	case "dot":
 		// Emit the Fig. 9 system-of-systems model as Graphviz for
 		// rendering: avsec dot | dot -Tsvg > fig9.svg
@@ -61,12 +61,172 @@ func main() {
 		fmt.Print(m.DOT())
 	case "all":
 		runAll(os.Args[2:])
+	case "expmd":
+		runExpmd()
 	case "campaign":
 		runCampaign(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
 	}
+}
+
+// fail prints an error and exits non-zero.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "avsec:", err)
+	os.Exit(1)
+}
+
+// runOne executes a single experiment with optional structured
+// observability and profiling sinks.
+func runOne(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "deterministic simulation seed")
+	traceFile := fs.String("trace", "", "write the structured JSONL trace to this file")
+	jsonFile := fs.String("json", "", "write the run's typed metrics as JSON to this file")
+	csvFile := fs.String("csv", "", "write the run's typed metrics as CSV to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	// Accept flags on either side of the id ("run -seed 7 fig2" and
+	// "run fig2 -trace=t.jsonl"): the flag package stops at the first
+	// positional, so parse the remainder again past the id.
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "avsec run: need exactly one experiment id (try 'avsec list')")
+		os.Exit(2)
+	}
+	id := fs.Arg(0)
+	if fs.NArg() > 1 {
+		rest := fs.Args()[1:]
+		if err := fs.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		if fs.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "avsec run: need exactly one experiment id (try 'avsec list')")
+			os.Exit(2)
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	var opt core.RunOptions
+	var traceOut *os.File
+	var traceBuf *bufio.Writer
+	var tracer *sim.JSONLTracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		traceOut = f
+		traceBuf = bufio.NewWriter(f)
+		tracer = sim.NewJSONLTracer(traceBuf)
+		opt.Tracer = tracer
+	}
+
+	res, err := core.RunExperimentResult(id, *seed, opt)
+	if err != nil {
+		fail(err)
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceBuf.Flush(); err != nil {
+			fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceOut.Close(); err != nil {
+			fail(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if *jsonFile != "" {
+		if err := writeFileWith(*jsonFile, res.WriteJSON); err != nil {
+			fail(err)
+		}
+	}
+	if *csvFile != "" {
+		err := writeFileWith(*csvFile, func(w io.Writer) error {
+			return sim.WriteMetricsCSV(w, res.Metrics)
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	fmt.Println(res.Report)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeFileWith creates path and streams write's output into it.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// typedRun adapts the registry's structured entry point to the
+// campaign pool, so aggregation consumes typed metrics.
+func typedRun(id string, seed int64) (string, []campaign.Metric, error) {
+	r, err := core.RunExperimentResult(id, seed, core.RunOptions{})
+	if err != nil {
+		return "", nil, err
+	}
+	return r.Report, r.Metrics, nil
+}
+
+// runExpmd regenerates EXPERIMENTS.md on stdout: every experiment runs
+// once at the documented seed (42), and the typed metric stream feeds
+// the template in internal/docs. CI regenerates and diffs this, so the
+// checked-in document cannot drift from the registry.
+func runExpmd() {
+	const seed = 42
+	metrics := make(docs.Metrics)
+	for _, e := range core.Experiments() {
+		r, err := core.RunExperimentResult(e.ID, seed, core.RunOptions{})
+		if err != nil {
+			fail(err)
+		}
+		m := make(map[string]float64, len(r.Metrics))
+		for _, mt := range r.Metrics {
+			m[mt.Name] = mt.Value
+		}
+		metrics[e.ID] = m
+	}
+	out, err := docs.ExperimentsMarkdown(metrics)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(out)
 }
 
 // runAll executes every experiment at one seed through the campaign
@@ -77,6 +237,7 @@ func runAll(args []string) {
 	seed := fs.Int64("seed", 42, "deterministic simulation seed")
 	jobs := fs.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS)")
 	recheck := fs.Float64("recheck", 0, "fraction of runs double-executed as a determinism self-check")
+	jsonFile := fs.String("json", "", "write every run's typed metrics as one JSON document to this file")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -87,11 +248,11 @@ func runAll(args []string) {
 		ids = append(ids, e.ID)
 	}
 	res, err := campaign.Run(campaign.Spec{
-		IDs:     ids,
-		Seeds:   []int64{*seed},
-		Jobs:    *jobs,
-		Recheck: *recheck,
-		Run:     core.RunExperiment,
+		IDs:      ids,
+		Seeds:    []int64{*seed},
+		Jobs:     *jobs,
+		Recheck:  *recheck,
+		RunTyped: typedRun,
 		OnCell: func(c campaign.CellResult) {
 			e := byID[c.ID]
 			fmt.Printf("═══ %s (%s) — %s ═══\n", e.ID, e.Source, e.Title)
@@ -106,8 +267,37 @@ func runAll(args []string) {
 		fmt.Fprintln(os.Stderr, "avsec:", err)
 		os.Exit(1)
 	}
+	if *jsonFile != "" {
+		if err := writeFileWith(*jsonFile, func(w io.Writer) error { return writeAllJSON(w, res, byID) }); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "avsec: %d experiments (%d rechecked) in %v\n",
 		len(res.Cells), res.Rechecked(), res.Elapsed.Round(1e6))
+}
+
+// writeAllJSON renders an `avsec all` result as a JSON array of runs,
+// one element per experiment in paper order, carrying the typed metrics.
+func writeAllJSON(w io.Writer, res *campaign.Result, byID map[string]core.Experiment) error {
+	type runDoc struct {
+		ID      string            `json:"id"`
+		Title   string            `json:"title"`
+		Source  string            `json:"source"`
+		Seed    int64             `json:"seed"`
+		Metrics []campaign.Metric `json:"metrics"`
+	}
+	docs := make([]runDoc, 0, len(res.Cells))
+	for _, c := range res.Cells {
+		e := byID[c.ID]
+		m := c.Metrics
+		if m == nil {
+			m = []campaign.Metric{}
+		}
+		docs = append(docs, runDoc{ID: c.ID, Title: e.Title, Source: e.Source, Seed: c.Seed, Metrics: m})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
 }
 
 // runCampaign executes the multi-seed (experiment × seed) grid and
@@ -118,6 +308,7 @@ func runCampaign(args []string) {
 	base := fs.Int64("seed", 42, "base simulation seed")
 	jobs := fs.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS)")
 	recheck := fs.Float64("recheck", 0.25, "fraction of cells double-executed as a determinism self-check")
+	jsonFile := fs.String("json", "", "write the aggregate results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -141,11 +332,11 @@ func runCampaign(args []string) {
 		os.Exit(2)
 	}
 	res, err := campaign.Run(campaign.Spec{
-		IDs:     ids,
-		Seeds:   campaign.Seeds(*base, *seeds),
-		Jobs:    *jobs,
-		Recheck: *recheck,
-		Run:     core.RunExperiment,
+		IDs:      ids,
+		Seeds:    campaign.Seeds(*base, *seeds),
+		Jobs:     *jobs,
+		Recheck:  *recheck,
+		RunTyped: typedRun,
 	})
 	if err != nil {
 		if res != nil {
@@ -155,6 +346,11 @@ func runCampaign(args []string) {
 		fmt.Fprintln(os.Stderr, "avsec:", err)
 		os.Exit(1)
 	}
+	if *jsonFile != "" {
+		if err := writeFileWith(*jsonFile, res.WriteJSON); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Print(res.RenderSummary())
 	fmt.Fprintf(os.Stderr, "avsec: %d cells (%d rechecked, 0 divergences) in %v\n",
 		len(res.Cells), res.Rechecked(), res.Elapsed.Round(1e6))
@@ -163,10 +359,15 @@ func runCampaign(args []string) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   avsec list                                     list experiments
-  avsec run <id> [-seed N]                       run one experiment
-  avsec all [-seed N] [-jobs K] [-recheck F]     run every experiment (pooled, ordered output)
-  avsec campaign [-seeds N] [-seed B] [-jobs K] [-recheck F] [ids...]
+  avsec run <id> [-seed N] [-trace F] [-json F] [-csv F] [-cpuprofile F] [-memprofile F]
+                                                 run one experiment with optional structured
+                                                 trace, typed metrics, and pprof output
+  avsec all [-seed N] [-jobs K] [-recheck F] [-json F]
+                                                 run every experiment (pooled, ordered output)
+  avsec campaign [-seeds N] [-seed B] [-jobs K] [-recheck F] [-json F] [ids...]
                                                  multi-seed campaign with aggregate stats
                                                  and determinism self-check
+  avsec expmd                                    regenerate EXPERIMENTS.md on stdout from
+                                                 the registry and a seed-42 typed run
   avsec dot                                      emit the Fig. 9 model as Graphviz`)
 }

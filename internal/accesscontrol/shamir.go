@@ -6,6 +6,8 @@
 // keyholders, each of which releases its share only if the owner's
 // policy authorizes the requester. No keyholder alone (nor any
 // coalition below the threshold) learns anything about the key.
+//
+// Exercised by experiment exp-access.
 package accesscontrol
 
 import (

@@ -12,6 +12,10 @@
 // test stub, or any future workload can be campaigned identically. All
 // rendered output is a pure function of the collected reports, so the
 // aggregate tables are byte-identical regardless of the worker count.
+//
+// Drives `avsec all` and `avsec campaign` over every registry
+// experiment; the typed-vs-scraped cross-check test pins both
+// aggregation paths to each other.
 package campaign
 
 import (
@@ -27,6 +31,12 @@ import (
 // RunFunc produces the report of one experiment at one seed. It must be
 // safe for concurrent use: the pool calls it from many goroutines.
 type RunFunc func(id string, seed int64) (string, error)
+
+// TypedRunFunc produces both the report and the run's typed metrics.
+// Campaigns prefer it over RunFunc when set: aggregation then consumes
+// structured sim.Metric values instead of scraping the report text.
+// It must be safe for concurrent use.
+type TypedRunFunc func(id string, seed int64) (string, []sim.Metric, error)
 
 // defaultRecheckSeed drives the deterministic selection of which cells
 // get the double-execution self-check. Fixed so that a given grid always
@@ -47,8 +57,13 @@ type Spec struct {
 	Recheck float64
 	// RecheckSeed seeds the cell-selection RNG; 0 uses a fixed default.
 	RecheckSeed int64
-	// Run executes one cell. Required.
+	// Run executes one cell. Required unless RunTyped is set.
 	Run RunFunc
+	// RunTyped, when non-nil, is used instead of Run and additionally
+	// yields the run's typed metrics, which aggregation prefers over
+	// report scraping (the scraper remains the fallback for cells
+	// without typed metrics).
+	RunTyped TypedRunFunc
 	// OnCell, when non-nil, is called from Run's goroutine for every
 	// completed cell in grid order (experiment-major, then seed), as soon
 	// as the cell and all its predecessors have finished. This gives
@@ -61,16 +76,23 @@ type CellResult struct {
 	ID     string
 	Seed   int64
 	Report string
-	Err    error
+	// Metrics holds the run's typed metrics when the campaign ran with
+	// a TypedRunFunc; nil means aggregation falls back to scraping.
+	Metrics []sim.Metric
+	Err     error
 	// Elapsed is the wall time of the primary execution (reporting only;
 	// it never feeds rendered tables, which must stay deterministic).
 	Elapsed time.Duration
 	// Rechecked reports whether the determinism self-check re-ran this
 	// cell; Diverged is set when the two reports differ, and
 	// RecheckReport then holds the second, conflicting report.
-	Rechecked     bool
-	Diverged      bool
-	RecheckReport string
+	// MetricsDiverged is set when the reports agree but the typed
+	// metric streams do not — a contract violation the scraper path
+	// could never observe.
+	Rechecked       bool
+	Diverged        bool
+	MetricsDiverged bool
+	RecheckReport   string
 }
 
 // Result is a completed campaign.
@@ -125,8 +147,8 @@ func Seeds(base int64, n int) []int64 {
 // failure and every determinism divergence, so a non-nil error means
 // the campaign must not be trusted.
 func Run(spec Spec) (*Result, error) {
-	if spec.Run == nil {
-		return nil, errors.New("campaign: Spec.Run is required")
+	if spec.Run == nil && spec.RunTyped == nil {
+		return nil, errors.New("campaign: Spec.Run or Spec.RunTyped is required")
 	}
 	if len(spec.IDs) == 0 {
 		return nil, errors.New("campaign: no experiment ids")
@@ -186,7 +208,7 @@ func Run(spec Spec) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
-				runCell(spec.Run, &grid[i])
+				runCell(&spec, &grid[i])
 				done <- i
 			}
 		}()
@@ -222,19 +244,31 @@ func Run(spec Spec) (*Result, error) {
 		if c.Diverged {
 			errs = append(errs, &DivergenceError{ID: c.ID, Seed: c.Seed, First: c.Report, Second: c.RecheckReport})
 		}
+		if c.MetricsDiverged {
+			errs = append(errs, fmt.Errorf("campaign: determinism violation: %s seed %d produced identical reports but diverging typed metrics", c.ID, c.Seed))
+		}
 	}
 	return res, errors.Join(errs...)
 }
 
-// runCell executes one cell, including its optional determinism recheck.
-func runCell(run RunFunc, c *CellResult) {
+// runCell executes one cell, including its optional determinism
+// recheck. With a typed runner the recheck covers the metric stream as
+// well as the report bytes.
+func runCell(spec *Spec, c *CellResult) {
+	run := func() (string, []sim.Metric, error) {
+		if spec.RunTyped != nil {
+			return spec.RunTyped(c.ID, c.Seed)
+		}
+		report, err := spec.Run(c.ID, c.Seed)
+		return report, nil, err
+	}
 	t0 := time.Now()
-	c.Report, c.Err = run(c.ID, c.Seed)
+	c.Report, c.Metrics, c.Err = run()
 	c.Elapsed = time.Since(t0)
 	if c.Err != nil || !c.Rechecked {
 		return
 	}
-	second, err := run(c.ID, c.Seed)
+	second, secondMetrics, err := run()
 	if err != nil {
 		c.Err = fmt.Errorf("determinism recheck: %w", err)
 		return
@@ -243,6 +277,24 @@ func runCell(run RunFunc, c *CellResult) {
 		c.Diverged = true
 		c.RecheckReport = second
 	}
+	if !metricsEqual(c.Metrics, secondMetrics) {
+		c.MetricsDiverged = true
+	}
+}
+
+// metricsEqual reports exact equality of two metric streams: the
+// determinism contract promises bit-identical values, not approximate
+// ones.
+func metricsEqual(a, b []sim.Metric) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Rechecked counts the cells the determinism self-check double-executed.
@@ -256,11 +308,12 @@ func (r *Result) Rechecked() int {
 	return n
 }
 
-// Divergences counts the cells whose recheck produced a different report.
+// Divergences counts the cells whose recheck produced a different
+// report or a different typed metric stream.
 func (r *Result) Divergences() int {
 	n := 0
 	for i := range r.Cells {
-		if r.Cells[i].Diverged {
+		if r.Cells[i].Diverged || r.Cells[i].MetricsDiverged {
 			n++
 		}
 	}

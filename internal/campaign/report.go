@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"autosec/internal/sim"
@@ -21,10 +23,12 @@ type ExperimentSummary struct {
 	Metrics []MetricSummary
 }
 
-// Summaries scrapes every successful cell's report and merges metrics
-// across seeds, per experiment. Metric order follows first appearance in
-// seed order, so the output is a pure function of the reports —
-// independent of how many workers produced them.
+// Summaries merges each experiment's metrics across seeds. Cells run
+// with a typed runner contribute their structured sim.Metric values
+// directly; cells without typed metrics fall back to scraping the
+// report text. Metric order follows first appearance in seed order, so
+// the output is a pure function of the collected cells — independent
+// of how many workers produced them.
 func (r *Result) Summaries() []ExperimentSummary {
 	out := make([]ExperimentSummary, 0, len(r.IDs))
 	for i, id := range r.IDs {
@@ -36,7 +40,11 @@ func (r *Result) Summaries() []ExperimentSummary {
 				continue
 			}
 			es.Runs++
-			for _, m := range Scrape(c.Report) {
+			metrics := c.Metrics
+			if metrics == nil {
+				metrics = Scrape(c.Report)
+			}
+			for _, m := range metrics {
 				k, ok := index[m.Name]
 				if !ok {
 					k = len(es.Metrics)
@@ -71,4 +79,57 @@ func (r *Result) RenderSummary() string {
 		b.WriteString(tb.String())
 	}
 	return b.String()
+}
+
+// jsonSummary mirrors ExperimentSummary with flattened aggregates for
+// machine consumption.
+type jsonSummary struct {
+	ID      string       `json:"id"`
+	Runs    int          `json:"runs"`
+	Metrics []jsonMetric `json:"metrics"`
+}
+
+type jsonMetric struct {
+	Name   string  `json:"name"`
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	Spread float64 `json:"spread"`
+}
+
+// WriteJSON writes the campaign's aggregate results as one indented
+// JSON document: the grid shape, the self-check totals, and the
+// per-experiment metric aggregates. Like RenderSummary, the output
+// contains no wall-clock data and is byte-identical for any worker
+// count.
+func (r *Result) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Experiments []string      `json:"experiments"`
+		Seeds       []int64       `json:"seeds"`
+		Cells       int           `json:"cells"`
+		Rechecked   int           `json:"rechecked"`
+		Divergences int           `json:"divergences"`
+		Summaries   []jsonSummary `json:"summaries"`
+	}{
+		Experiments: r.IDs,
+		Seeds:       r.Seeds,
+		Cells:       len(r.Cells),
+		Rechecked:   r.Rechecked(),
+		Divergences: r.Divergences(),
+	}
+	for _, es := range r.Summaries() {
+		js := jsonSummary{ID: es.ID, Runs: es.Runs, Metrics: []jsonMetric{}}
+		for _, m := range es.Metrics {
+			js.Metrics = append(js.Metrics, jsonMetric{
+				Name: m.Name, N: m.Agg.N(),
+				Min: m.Agg.Min(), Mean: m.Agg.Mean(),
+				Max: m.Agg.Max(), Spread: m.Agg.Spread(),
+			})
+		}
+		doc.Summaries = append(doc.Summaries, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
 }

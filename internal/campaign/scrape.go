@@ -4,15 +4,17 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"autosec/internal/sim"
 )
 
-// Metric is one named numeric value scraped from an experiment report.
-// Rate cells of the form "a/b" are recorded as the fraction a/b, so
-// attack-success and delivery rates aggregate naturally across seeds.
-type Metric struct {
-	Name  string
-	Value float64
-}
+// Metric is one named numeric value extracted from an experiment run —
+// either scraped from the report text or published directly as a typed
+// sim.Metric. Rate cells of the form "a/b" are recorded as the fraction
+// a/b, so attack-success and delivery rates aggregate naturally across
+// seeds. The alias keeps the scraper fallback and the typed path
+// structurally identical.
+type Metric = sim.Metric
 
 // Scrape extracts metrics from a report in the format the experiment
 // harness emits: sim.Table blocks ("== title ==" then a header row, a
@@ -117,26 +119,10 @@ func scrapeKeyValue(line string, add func(string, float64)) {
 	}
 }
 
-// parseNumber parses a plain float ("166.4", "2.33e-10") or an integer
-// rate "a/b" (returned as the fraction a/b). Surrounding punctuation
-// from prose ("(", "),", "×", ...) is stripped; tokens that are not
-// purely numeric ("V2X", "10B-T1S", "-") are rejected.
+// parseNumber parses a numeric report token. It is the scraper's view
+// of sim.ParseMetricNumber — the one shared definition of "numeric"
+// that bound tables also use when publishing typed metrics, which is
+// what keeps the scraped and typed streams cell-for-cell identical.
 func parseNumber(tok string) (float64, bool) {
-	tok = strings.Trim(tok, "(){}[],;:×%")
-	if tok == "" {
-		return 0, false
-	}
-	if num, den, ok := strings.Cut(tok, "/"); ok {
-		a, errA := strconv.ParseInt(num, 10, 64)
-		b, errB := strconv.ParseInt(den, 10, 64)
-		if errA != nil || errB != nil || b <= 0 {
-			return 0, false
-		}
-		return float64(a) / float64(b), true
-	}
-	v, err := strconv.ParseFloat(tok, 64)
-	if err != nil {
-		return 0, false
-	}
-	return v, true
+	return sim.ParseMetricNumber(tok)
 }

@@ -6,6 +6,8 @@
 // sit on a CAN bus. With CAN XL's 2048-byte payloads most automotive
 // Ethernet frames fit in a single segment; classic CAN/FD would need
 // many.
+//
+// Exercised by experiments fig6, ablate-canal, and ablate-scale.
 package canal
 
 import (

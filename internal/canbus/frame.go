@@ -6,6 +6,9 @@
 // flooding, targeted error injection). The defining vulnerability the
 // paper highlights — *no sender authentication* — is inherent in the
 // model: any node may transmit any identifier.
+//
+// Exercised by the IVN experiments fig3-fig6, tab1, exp-ids, exp-
+// vehicle, and exp-zc.
 package canbus
 
 import (

@@ -4,6 +4,8 @@
 // key; each protected frame carries the zone id, a 32-bit freshness
 // counter, and an AES-GCM tag (with optional encryption), all inside a
 // CAN XL frame whose SDU type marks it as CANsec.
+//
+// Exercised by experiment tab1.
 package cansec
 
 import (

@@ -9,6 +9,9 @@
 //     credential, roaming is adding a trust anchor (or accepting an
 //     accreditation), and offline authorization works from a bundle
 //     (ref [34]).
+//
+// No registry experiment drives this package yet; the §IV-C properties
+// are verified by its own test suite.
 package charging
 
 import (

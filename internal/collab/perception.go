@@ -4,6 +4,9 @@
 // (ref [48]), redundancy-based misbehaviour detection, and the
 // competing-collaborative-systems intersection study (§VII-A) comparing
 // cooperative, self-interested, and regulated policies.
+//
+// Exercised by experiments exp-collab and ablate-k, and by the cross-
+// layer integration test in internal/core.
 package collab
 
 import (

@@ -10,7 +10,6 @@ import (
 	"autosec/internal/collab"
 	"autosec/internal/ethernet"
 	"autosec/internal/secoc"
-	"autosec/internal/sim"
 	"autosec/internal/uwb"
 	"autosec/internal/world"
 )
@@ -18,12 +17,12 @@ import (
 // RunAblateMAC sweeps SECOC MAC truncation: wire overhead (measured)
 // against brute-force forgery probability (analytic) and observed
 // forgeries under a budget of random attempts.
-func RunAblateMAC(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunAblateMAC(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	key := make([]byte, 16)
 	rng.Bytes(key)
 
-	tb := sim.NewTable("ablation — SECOC MAC truncation",
+	tb := rc.Table("ablation — SECOC MAC truncation",
 		"mac-bits", "overhead-B", "P(forge/attempt)", "forgeries-in-100k")
 	for _, bits := range []int{24, 32, 64, 128} {
 		cfg := secoc.Config{DataID: 1, MACBits: bits, FreshnessBits: 8, AcceptWindow: 64}
@@ -66,13 +65,13 @@ func RunAblateMAC(seed int64) (string, error) {
 // RunAblateFV sweeps the SECOC freshness acceptance window against
 // message-loss tolerance: too small and honest traffic desynchronizes,
 // larger windows only widen the replay search space.
-func RunAblateFV(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunAblateFV(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	key := make([]byte, 16)
 	rng.Bytes(key)
 
 	const messages = 400
-	tb := sim.NewTable("ablation — freshness window vs loss tolerance (400 msgs, 20% loss)",
+	tb := rc.Table("ablation — freshness window vs loss tolerance (400 msgs, 20% loss)",
 		"window", "delivered-accepted", "desync-rejects", "replays-accepted")
 	for _, window := range []uint64{4, 16, 64, 256} {
 		cfg := secoc.Config{DataID: 1, MACBits: 32, FreshnessBits: 16, AcceptWindow: window}
@@ -114,11 +113,11 @@ func RunAblateFV(seed int64) (string, error) {
 // RunAblateSTS sweeps the HRP STS length against ghost-peak success on
 // the naive receiver: the random-walk ghost correlation shrinks as
 // 1/√pulses, so longer sequences harden even naive processing.
-func RunAblateSTS(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunAblateSTS(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	key := []byte("ablate-sts-key!!")
 	const trials = 30
-	tb := sim.NewTable("ablation — STS length vs ghost-peak distance reduction (naive receiver)",
+	tb := rc.Table("ablation — STS length vs ghost-peak distance reduction (naive receiver)",
 		"pulses", "reduction-success", "secure-receiver-success")
 	for _, pulses := range []int{32, 64, 128, 256, 1024} {
 		succNaive, succSecure := 0, 0
@@ -155,12 +154,12 @@ func RunAblateSTS(seed int64) (string, error) {
 // RunAblateCANAL sweeps the CANAL segment payload size: smaller segments
 // mean more per-segment headers and more CAN overhead per tunnelled
 // Ethernet frame.
-func RunAblateCANAL(seed int64) (string, error) {
+func RunAblateCANAL(rc *RunContext) (string, error) {
 	frame := &ethernet.Frame{
 		Dst: ethernet.MAC{2, 0, 0, 0, 0, 1}, Src: ethernet.MAC{2, 0, 0, 0, 0, 2},
 		EtherType: ethernet.EtherTypeApp, Payload: make([]byte, 1400),
 	}
-	tb := sim.NewTable("ablation — CANAL segment size for a 1400-B Ethernet frame over CAN XL",
+	tb := rc.Table("ablation — CANAL segment size for a 1400-B Ethernet frame over CAN XL",
 		"segment-payload-B", "segments", "tunnel-overhead-B", "wire-bits")
 	for _, size := range []int{0 /* = max */, 1024, 256, 64, 32} {
 		a := canal.NewAdapter(1, canbus.XL, 0x100)
@@ -183,16 +182,15 @@ func RunAblateCANAL(seed int64) (string, error) {
 		}
 		tb.AddRow(label, len(segs), oh, wireBits)
 	}
-	_ = seed
 	return tb.String(), nil
 }
 
 // RunAblateRedundancy sweeps the corroboration requirement k against an
 // insider fabricator: k=1 accepts everything an authenticated member
 // says; k≥2 filters single-witness fabrications.
-func RunAblateRedundancy(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
-	tb := sim.NewTable("ablation — redundancy k vs insider fabrication (20 rounds)",
+func RunAblateRedundancy(rc *RunContext) (string, error) {
+	rng := rc.RNG()
+	tb := rc.Table("ablation — redundancy k vs insider fabrication (20 rounds)",
 		"k", "fakes-accepted", "real-accepted", "missed-real")
 	for _, k := range []int{0, 1, 2, 3} {
 		fakes, real, missed := 0, 0, 0

@@ -21,7 +21,7 @@ type Experiment struct {
 	ID     string
 	Title  string
 	Source string // which paper artefact it reproduces
-	Run    func(seed int64) (string, error)
+	Run    func(rc *RunContext) (string, error)
 }
 
 // Experiments returns the full registry in paper order.
@@ -58,26 +58,16 @@ func Experiments() []Experiment {
 	}
 }
 
-// RunExperiment runs one experiment by id.
-func RunExperiment(id string, seed int64) (string, error) {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return e.Run(seed)
-		}
-	}
-	return "", fmt.Errorf("core: unknown experiment %q", id)
-}
-
 // RunFig1 regenerates Fig. 1: the layer inventory with threat/defence
 // counts, plus the cross-layer findings an undefended and a partially
 // defended posture expose.
-func RunFig1(seed int64) (string, error) {
+func RunFig1(rc *RunContext) (string, error) {
 	c, err := DefaultCatalog()
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
-	tb := sim.NewTable("Fig. 1 — layered architecture of an autonomous system",
+	tb := rc.Table("Fig. 1 — layered architecture of an autonomous system",
 		"layer", "threats", "defences", "example threat")
 	for _, l := range Layers() {
 		threats := c.ThreatsAt(l)
@@ -98,6 +88,7 @@ func RunFig1(seed int64) (string, error) {
 	empty := NewPosture(c)
 	paths := empty.AttackPaths()
 	fmt.Fprintf(&b, "\nundefended posture: %d cross-layer attack paths to safety impact, e.g.\n", len(paths))
+	rc.Metric("undefended posture", float64(len(paths)))
 	for i, path := range paths {
 		if i >= 3 {
 			break
@@ -112,12 +103,14 @@ func RunFig1(seed int64) (string, error) {
 	}
 	fmt.Fprintf(&b, "\ndata-layer-only hardening: %d paths remain (hardening one layer is insufficient)\n",
 		len(dataOnly.AttackPaths()))
+	rc.Metric("data-layer-only hardening", float64(len(dataOnly.AttackPaths())))
 
 	full, err := FullDeployment(c)
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&b, "full multi-layer deployment: %d paths remain\n", len(full.AttackPaths()))
+	rc.Metric("full multi-layer deployment", float64(len(full.AttackPaths())))
 
 	// Synergy demonstration.
 	noSyn := NewPosture(c)
@@ -126,18 +119,18 @@ func RunFig1(seed int64) (string, error) {
 	}
 	fmt.Fprintf(&b, "synergy check: deploying {SECOC, MACsec, V2X auth, misbehaviour detection} without key management leaves %d of them ineffective: %v\n",
 		len(noSyn.IneffectiveDeployments()), noSyn.IneffectiveDeployments())
-	_ = seed
+	rc.Metric("synergy check", float64(len(noSyn.IneffectiveDeployments())))
 	return b.String(), nil
 }
 
 // RunFig2 regenerates Fig. 2: both UWB ranging modes under benign and
 // adversarial conditions, for naive and integrity-checked receivers.
-func RunFig2(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunFig2(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	const trials = 40
 	key := []byte("fig2-ranging-key")
 
-	tb := sim.NewTable("Fig. 2 — UWB ranging modes under attack",
+	tb := rc.Table("Fig. 2 — UWB ranging modes under attack",
 		"mode", "receiver", "attack", "accepted", "dist-manipulated", "mean-err-m")
 
 	hrp := func(secure bool, att uwb.Attacker, label, attackName string) error {
@@ -233,18 +226,19 @@ func RunFig2(seed int64) (string, error) {
 	fmt.Fprintf(&b, "\ndistance bounding (32 rounds): mafia-fraud guess acceptance theory %.2e, pre-ask %.2e\n",
 		ranging.FraudSuccessProbability(ranging.MafiaFraudGuess, 32, 0),
 		ranging.FraudSuccessProbability(ranging.MafiaFraudPreAsk, 32, 0))
+	rc.Metric("distance bounding (32 rounds)", ranging.FraudSuccessProbability(ranging.MafiaFraudGuess, 32, 0))
 	return b.String(), nil
 }
 
 // RunTable1 regenerates Table I with *measured* per-frame overheads of
 // every implemented protocol on its medium.
-func RunTable1(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunTable1(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	payload := make([]byte, 16)
 	rng.Bytes(payload)
 	key := vcrypto.DeriveKey([]byte("table1-root-key!"), "k", "t", 16)
 
-	tb := sim.NewTable("Table I — security protocols for in-vehicle communication (measured)",
+	tb := rc.Table("Table I — security protocols for in-vehicle communication (measured)",
 		"ISO-OSI layer", "protocol", "media", "overhead-B", "auth", "conf", "replay-prot")
 
 	// Application: SECOC (CAN and Ethernet payloads alike).
@@ -303,11 +297,12 @@ func RunTable1(seed int64) (string, error) {
 	xl := &canbus.Frame{ID: 1, Format: canbus.XL, Payload: make([]byte, 64)}
 	fmt.Fprintf(&b, "\ncontext: classic CAN frame %d wire bits; CAN XL 64-B frame %d wire bits\n",
 		classic.WireBits(), xl.WireBits())
+	rc.Metric("context", float64(classic.WireBits()))
 	return b.String(), nil
 }
 
 // scenarioTable builds the header shared by the Fig. 3–6 experiments.
-func scenarioTable(title string) *sim.Table {
-	return sim.NewTable(title,
+func scenarioTable(rc *RunContext, title string) *sim.Table {
+	return rc.Table(title,
 		"scenario", "delivered", "p50-lat-µs", "overhead×", "keys@ZC", "ops@ZC", "forgeries", "replays")
 }

@@ -14,12 +14,12 @@ import (
 
 // RunExpCA reproduces the §II-B collision-avoidance claims: sensor
 // attacks against naive, consensus, and ranging-verified fusion.
-func RunExpCA(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunExpCA(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	key := []byte("exp-ca-range-key")
 	const encounters = 20
 
-	tb := sim.NewTable("§II-B — collision avoidance under sensor attack (20 encounters each)",
+	tb := rc.Table("§II-B — collision avoidance under sensor attack (20 encounters each)",
 		"fusion", "attack", "collisions", "phantom-brakes", "braked")
 
 	ghost := func() *sensor.Attack {
@@ -71,7 +71,7 @@ func RunExpCA(seed int64) (string, error) {
 	}
 	// Cut-in scenario: the dangerous 2-D variant where late detection
 	// hurts most.
-	cutIn := sim.NewTable("cut-in from adjacent lane (20 encounters each)",
+	cutIn := rc.Table("cut-in from adjacent lane (20 encounters each)",
 		"fusion", "attack", "collisions", "reacted")
 	for _, st := range []struct {
 		policy sensor.FusionPolicy
@@ -110,8 +110,8 @@ func RunExpCA(seed int64) (string, error) {
 
 // RunExpCollab reproduces §VII: fabrication detection in collaborative
 // perception and the competing-agents intersection study.
-func RunExpCollab(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunExpCollab(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	var b strings.Builder
 
 	// --- perception ---
@@ -142,7 +142,7 @@ func RunExpCollab(seed int64) (string, error) {
 		return msgs
 	}
 
-	tb := sim.NewTable("§VII-B — collaborative perception under attack (per round)",
+	tb := rc.Table("§VII-B — collaborative perception under attack (per round)",
 		"attacker", "channel/fusion", "fakes-accepted", "real-accepted", "missed-real")
 	type cfgCase struct {
 		name     string
@@ -184,10 +184,11 @@ func RunExpCollab(seed int64) (string, error) {
 		tracker.Observe(w, share(w, members, false), members, cfg)
 		rounds++
 	}
-	fmt.Fprintf(&b, "\ninsider excluded by trust tracking after %d rounds (score %.2f)\n\n", rounds, tracker.Score("b"))
+	fmt.Fprintf(&b, "\ninsider excluded by trust tracking: %d rounds (final score %.2f)\n\n", rounds, tracker.Score("b"))
+	rc.Metric("insider excluded by trust tracking", float64(rounds))
 
 	// --- intersection competition ---
-	it := sim.NewTable("§VII-A — intersection competition (30 vehicles)",
+	it := rc.Table("§VII-A — intersection competition (30 vehicles)",
 		"policy", "crossed", "collisions", "deadlocked", "ticks", "mean-wait", "max-wait")
 	for _, policy := range []collab.Policy{collab.Cooperative, collab.SelfInterested, collab.OverCautious, collab.Regulated} {
 		res, err := collab.RunIntersection(collab.DefaultIntersection(policy, 30), rng.Fork())
@@ -202,13 +203,13 @@ func RunExpCollab(seed int64) (string, error) {
 
 // RunExpIDS reproduces §VIII: detection and response against masquerade
 // and flooding on CAN.
-func RunExpIDS(seed int64) (string, error) {
+func RunExpIDS(rc *RunContext) (string, error) {
 	var b strings.Builder
-	tb := sim.NewTable("§VIII — intrusion detection & response on CAN",
+	tb := rc.Table("§VIII — intrusion detection & response on CAN",
 		"response-mode", "alerts", "masquerader-isolated", "containment-ms", "rekeys")
 
 	for _, action := range []ids.ResponseAction{ids.AlertOnly, ids.Isolate, ids.IsolateAndRekey} {
-		k := sim.NewKernel(seed)
+		k := rc.Kernel()
 		bus := canbus.NewBus("zone", canbus.DefaultBitRates(), k)
 		bus.Attach(&canbus.NodeFunc{ID: "rx"})
 		engine := ids.NewEngine(action, k)

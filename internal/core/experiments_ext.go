@@ -8,7 +8,6 @@ import (
 	"autosec/internal/accesscontrol"
 	"autosec/internal/ota"
 	"autosec/internal/ptp"
-	"autosec/internal/sim"
 	"autosec/internal/v2x"
 	"autosec/internal/world"
 )
@@ -17,8 +16,8 @@ import (
 // ref [54]): threshold secret sharing lets data owners gate access
 // across multiple stakeholders, tolerating keyholder compromise below
 // the threshold.
-func RunExpAccess(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunExpAccess(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	var b strings.Builder
 
 	owner := accesscontrol.NewOwner("vehicle-7", rng)
@@ -35,7 +34,7 @@ func RunExpAccess(seed int64) (string, error) {
 	fmt.Fprintf(&b, "§VIII — owner-controlled data access (2-of-3 secret sharing)\n\n")
 	fmt.Fprintf(&b, "published %s: ciphertext at the broker, key split across %v\n", msg.ID, msg.Holders)
 
-	tb := sim.NewTable("access decisions",
+	tb := rc.Table("access decisions",
 		"requester", "condition", "outcome")
 	tryCase := func(who, condition string, now int64, prep func(m *accesscontrol.SealedMessage, hs []*accesscontrol.Keyholder)) error {
 		fresh := []*accesscontrol.Keyholder{
@@ -95,7 +94,7 @@ func RunExpAccess(seed int64) (string, error) {
 // attack skews standard PTP undetectably, and cyclic path asymmetry
 // analysis over redundant paths detects, localizes, and routes around
 // it.
-func RunExpPTP(seed int64) (string, error) {
+func RunExpPTP(rc *RunContext) (string, error) {
 	master := ptp.Clock{}
 	slave := ptp.Clock{OffsetNs: 125_000}
 	mkPaths := func() []*ptp.Link {
@@ -106,7 +105,7 @@ func RunExpPTP(seed int64) (string, error) {
 		}
 	}
 
-	tb := sim.NewTable("§VIII / ref [53] — PTP time delay attack vs PTPsec (3 redundant paths)",
+	tb := rc.Table("§VIII / ref [53] — PTP time delay attack vs PTPsec (3 redundant paths)",
 		"attack", "naive-PTP-error-ns", "detected", "localized", "PTPsec-error-ns", "synced-via")
 	cases := []struct {
 		name  string
@@ -125,10 +124,16 @@ func RunExpPTP(seed int64) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		// An empty cell would collapse under the scraper's two-space
+		// column split and shift every later column; render "-" instead.
+		localized := strings.Join(rep.AttackedPaths, ",")
+		if localized == "" {
+			localized = "-"
+		}
 		tb.AddRow(tc.name,
 			naive.ErrorNs(),
 			rep.Attacked(),
-			strings.Join(rep.AttackedPaths, ","),
+			localized,
 			math.Abs(rep.Sync.ErrorNs()),
 			rep.UsedPath)
 	}
@@ -136,15 +141,14 @@ func RunExpPTP(seed int64) (string, error) {
 	b.WriteString(tb.String())
 	b.WriteString("\nthe cyclic measurement reads only the master's clock, so clock offsets cancel exactly and\n")
 	b.WriteString("the attacker's one-way delay has nowhere to hide.\n")
-	_ = seed
 	return b.String(), nil
 }
 
 // RunExpV2X reproduces the authenticated-V2X + pseudonym-privacy story:
 // message authentication, escrowed misbehaviour resolution, and the
 // rotation/linkability trade-off.
-func RunExpV2X(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunExpV2X(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	authSeed := make([]byte, 32)
 	rng.Bytes(authSeed)
 	authority, err := v2x.NewAuthority(authSeed)
@@ -196,7 +200,7 @@ func RunExpV2X(seed int64) (string, error) {
 		ps1[0].ID, vehicle, n, verifier.Verify(good, 46) == nil)
 
 	// Privacy: rotation bounds trajectory linkage.
-	tb := sim.NewTable("pseudonym rotation vs trajectory linkage (1 h drive, CAM every 10 s)",
+	tb := rc.Table("pseudonym rotation vs trajectory linkage (1 h drive, CAM every 10 s)",
 		"pseudonym-lifetime-s", "segments", "longest-linkable-s", "mean-linkable-s")
 	for _, lifetime := range []int64{3600, 900, 300, 60} {
 		count := int(3600 / lifetime)
@@ -224,11 +228,11 @@ func RunExpV2X(seed int64) (string, error) {
 // RunExpOTA reproduces the update-pipeline guarantees behind §IV-A:
 // forged, corrupted, downgraded, and bootlooping releases are all
 // contained.
-func RunExpOTA(seed int64) (string, error) {
+func RunExpOTA(rc *RunContext) (string, error) {
 	mkSeed := func(b byte) []byte {
 		s := make([]byte, 32)
 		for i := range s {
-			s[i] = b ^ byte(seed)
+			s[i] = b ^ byte(rc.Seed)
 		}
 		return s
 	}
@@ -246,7 +250,7 @@ func RunExpOTA(seed int64) (string, error) {
 		return "", err
 	}
 
-	tb := sim.NewTable("§IV-A — OTA update pipeline outcomes",
+	tb := rc.Table("§IV-A — OTA update pipeline outcomes",
 		"event", "accepted", "running-after")
 	try := func(name string, m *ota.Manifest, img []byte, healthy bool) {
 		err := dev.Install(m, img)

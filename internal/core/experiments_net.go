@@ -8,6 +8,14 @@ import (
 	"autosec/internal/sim"
 )
 
+// ivnCfg returns the standard Fig. 4–6 workload wired to the run's
+// tracer, so scenario kernels contribute to the structured trace.
+func ivnCfg(rc *RunContext) ivn.Config {
+	cfg := ivn.DefaultConfig(rc.Seed)
+	cfg.Tracer = rc.Tracer
+	return cfg
+}
+
 func scenarioRow(tb *sim.Table, r ivn.Result) {
 	tb.AddRow(r.Scenario,
 		fmt.Sprintf("%d/%d", r.Delivered, r.Sent),
@@ -22,18 +30,18 @@ func scenarioRow(tb *sim.Table, r ivn.Result) {
 // RunFig3 regenerates Fig. 3: the zonal topology inventory and the
 // undefended baseline, showing the masquerade vulnerability the later
 // scenarios fix.
-func RunFig3(seed int64) (string, error) {
+func RunFig3(rc *RunContext) (string, error) {
 	var b strings.Builder
 	b.WriteString("Fig. 3 — simplified IVN model\n")
 	b.WriteString("  central computing (CC)\n")
 	b.WriteString("  ├─ ETH 1 Gbit/s ── zone controller L ── CAN ─── {ecu-1, attacker}\n")
 	b.WriteString("  └─ ETH 1 Gbit/s ── zone controller R ── 10B-T1S {endpoint, attacker}\n\n")
 
-	res, err := ivn.RunBaseline(ivn.DefaultConfig(seed))
+	res, err := ivn.RunBaseline(ivnCfg(rc))
 	if err != nil {
 		return "", err
 	}
-	tb := scenarioTable("baseline (no security stack)")
+	tb := scenarioTable(rc, "baseline (no security stack)")
 	scenarioRow(tb, res)
 	b.WriteString(tb.String())
 	b.WriteString("\nwithout authentication every masquerade and replay is accepted: the motivation for Table I.\n")
@@ -43,11 +51,11 @@ func RunFig3(seed int64) (string, error) {
 // RunExpVehicle runs the combined Fig. 3 vehicle: both zones live on one
 // kernel, three concurrent protected flows (including a cross-zone flow
 // routed through the central computer), and attackers on both buses.
-func RunExpVehicle(seed int64) (string, error) {
+func RunExpVehicle(rc *RunContext) (string, error) {
 	// Three classic CAN frames per period (~240 µs each on the wire)
 	// need ≥ ~720 µs of bus time; a 1.5 ms period keeps the zone-L bus
 	// at ~50 % load so latencies reflect path length, not queueing.
-	cfg := ivn.Config{Seed: seed, Messages: 100, PeriodUs: 1500, PayloadBytes: 4, Forgeries: 40}
+	cfg := ivn.Config{Seed: rc.Seed, Messages: 100, PeriodUs: 1500, PayloadBytes: 4, Forgeries: 40, Tracer: rc.Tracer}
 	res, err := ivn.RunFullVehicle(cfg)
 	if err != nil {
 		return "", err
@@ -55,6 +63,9 @@ func RunExpVehicle(seed int64) (string, error) {
 	var b strings.Builder
 	b.WriteString("Fig. 3 (integrated) — full vehicle, both zones concurrently\n\n")
 	b.WriteString(res.String())
+	if res.ForgeriesAttempted > 0 {
+		rc.Metric("forgeries accepted", float64(res.ForgeriesAccepted)/float64(res.ForgeriesAttempted))
+	}
 	b.WriteString("\nthe cross-zone flow (CAN → CC → 10BASE-T1S) keeps SECOC end-to-end across three media;\n")
 	b.WriteString("simultaneous masquerade campaigns on both buses are fully rejected.\n")
 	return b.String(), nil
@@ -63,12 +74,12 @@ func RunExpVehicle(seed int64) (string, error) {
 // RunExpZCCompromise probes what an attacker who owns the zone
 // controller can do under each scenario's key layout — the executable
 // form of the paper's S1/S2 key-placement discussion.
-func RunExpZCCompromise(seed int64) (string, error) {
+func RunExpZCCompromise(rc *RunContext) (string, error) {
 	results, err := ivn.RunZCCompromise()
 	if err != nil {
 		return "", err
 	}
-	tb := sim.NewTable("§III-A — capabilities of a compromised zone controller",
+	tb := rc.Table("§III-A — capabilities of a compromised zone controller",
 		"scenario", "keys@ZC", "reads-plaintext", "forges-accepted-msgs")
 	for _, r := range results {
 		tb.AddRow(r.Scenario, r.KeysAtZC, r.PlaintextVisible, r.ForgeryAccepted)
@@ -77,21 +88,20 @@ func RunExpZCCompromise(seed int64) (string, error) {
 	b.WriteString(tb.String())
 	b.WriteString("\nS1 leaks content (SECOC is authentication-only) but holds integrity; S2-p2p hands the\n")
 	b.WriteString("attacker both — the concrete reason the paper favours keyless intermediates (S2-e2e, S3).\n")
-	_ = seed
 	return b.String(), nil
 }
 
 // RunFig4 regenerates Fig. 4 (scenario S1).
-func RunFig4(seed int64) (string, error) {
-	base, err := ivn.RunBaseline(ivn.DefaultConfig(seed))
+func RunFig4(rc *RunContext) (string, error) {
+	base, err := ivn.RunBaseline(ivnCfg(rc))
 	if err != nil {
 		return "", err
 	}
-	s1, err := ivn.RunS1(ivn.DefaultConfig(seed))
+	s1, err := ivn.RunS1(ivnCfg(rc))
 	if err != nil {
 		return "", err
 	}
-	tb := scenarioTable("Fig. 4 — S1: SECOC end-to-end over CAN + MACsec on the ETH hop")
+	tb := scenarioTable(rc, "Fig. 4 — S1: SECOC end-to-end over CAN + MACsec on the ETH hop")
 	scenarioRow(tb, base)
 	scenarioRow(tb, s1)
 	var b strings.Builder
@@ -102,16 +112,16 @@ func RunFig4(seed int64) (string, error) {
 }
 
 // RunFig5 regenerates Fig. 5 (scenario S2, both variants).
-func RunFig5(seed int64) (string, error) {
-	e2e, err := ivn.RunS2(ivn.DefaultConfig(seed), ivn.S2EndToEnd)
+func RunFig5(rc *RunContext) (string, error) {
+	e2e, err := ivn.RunS2(ivnCfg(rc), ivn.S2EndToEnd)
 	if err != nil {
 		return "", err
 	}
-	p2p, err := ivn.RunS2(ivn.DefaultConfig(seed), ivn.S2PointToPoint)
+	p2p, err := ivn.RunS2(ivnCfg(rc), ivn.S2PointToPoint)
 	if err != nil {
 		return "", err
 	}
-	tb := scenarioTable("Fig. 5 — S2: MACsec on a homogeneous Ethernet network")
+	tb := scenarioTable(rc, "Fig. 5 — S2: MACsec on a homogeneous Ethernet network")
 	scenarioRow(tb, e2e)
 	scenarioRow(tb, p2p)
 	var b strings.Builder
@@ -123,12 +133,12 @@ func RunFig5(seed int64) (string, error) {
 }
 
 // RunFig6 regenerates Fig. 6 (scenario S3) and the three-way comparison.
-func RunFig6(seed int64) (string, error) {
-	results, err := ivn.RunAll(ivn.DefaultConfig(seed))
+func RunFig6(rc *RunContext) (string, error) {
+	results, err := ivn.RunAll(ivnCfg(rc))
 	if err != nil {
 		return "", err
 	}
-	tb := scenarioTable("Fig. 6 — S3: CANAL tunnels MACsec end-to-end over CAN XL (full comparison)")
+	tb := scenarioTable(rc, "Fig. 6 — S3: CANAL tunnels MACsec end-to-end over CAN XL (full comparison)")
 	for _, r := range results {
 		scenarioRow(tb, r)
 	}

@@ -4,7 +4,6 @@ import (
 	"strings"
 
 	"autosec/internal/ivn"
-	"autosec/internal/sim"
 )
 
 // RunAblateScale sweeps the number of endpoints per zone and shows
@@ -12,9 +11,9 @@ import (
 // key storage and processing at the zone controller (O(n) keys, 2 ops
 // per message), end-to-end designs move the key burden to the central
 // computer and leave the gateway stateless.
-func RunAblateScale(seed int64) (string, error) {
+func RunAblateScale(rc *RunContext) (string, error) {
 	var b strings.Builder
-	tb := sim.NewTable("ablation — scenario costs vs endpoints per zone (4-B payloads, measured overheads)",
+	tb := rc.Table("ablation — scenario costs vs endpoints per zone (4-B payloads, measured overheads)",
 		"endpoints", "scenario", "keys@ZC", "keys@CC", "ops/msg@ZC", "overhead-B/msg")
 	for _, n := range []int{4, 16, 64, 256} {
 		rows, err := ivn.Scaling(n, 4)
@@ -29,6 +28,5 @@ func RunAblateScale(seed int64) (string, error) {
 	b.WriteString("\nzonal consolidation (more endpoints per controller) punishes S2-p2p linearly at the\n")
 	b.WriteString("gateway; the e2e designs (S2-e2e, S3) keep the gateway stateless at the price of per-\n")
 	b.WriteString("endpoint key state in the central computer — where HSM capacity actually exists.\n")
-	_ = seed
 	return b.String(), nil
 }

@@ -6,7 +6,6 @@ import (
 
 	"autosec/internal/killchain"
 	"autosec/internal/sdv"
-	"autosec/internal/sim"
 	"autosec/internal/sos"
 	"autosec/internal/ssi"
 	"autosec/internal/telemetry"
@@ -15,7 +14,7 @@ import (
 // RunFig7 regenerates Fig. 7: the SDV trust relations — multi-anchor
 // credential issuance, mutually authenticated placement, failover, and
 // a revoked (compromised) update that cannot land.
-func RunFig7(seed int64) (string, error) {
+func RunFig7(rc *RunContext) (string, error) {
 	mkKey := func(b byte) (*ssi.KeyPair, error) {
 		s := make([]byte, 32)
 		for i := range s {
@@ -23,15 +22,15 @@ func RunFig7(seed int64) (string, error) {
 		}
 		return ssi.GenerateKeyPair(s)
 	}
-	oem, err := mkKey(byte(seed%200) + 1)
+	oem, err := mkKey(byte(rc.Seed%200) + 1)
 	if err != nil {
 		return "", err
 	}
-	vendor, err := mkKey(byte(seed%200) + 2)
+	vendor, err := mkKey(byte(rc.Seed%200) + 2)
 	if err != nil {
 		return "", err
 	}
-	cloud, err := mkKey(byte(seed%200) + 3)
+	cloud, err := mkKey(byte(rc.Seed%200) + 3)
 	if err != nil {
 		return "", err
 	}
@@ -60,7 +59,7 @@ func RunFig7(seed int64) (string, error) {
 
 	// Two hardware nodes attested by the OEM.
 	for i, id := range []string{"zc-left", "zc-right"} {
-		k, err := mkKey(byte(seed%200) + 10 + byte(i))
+		k, err := mkKey(byte(rc.Seed%200) + 10 + byte(i))
 		if err != nil {
 			return "", err
 		}
@@ -82,7 +81,7 @@ func RunFig7(seed int64) (string, error) {
 	}
 
 	// Brake controller from the vendor.
-	ck, err := mkKey(byte(seed%200) + 20)
+	ck, err := mkKey(byte(rc.Seed%200) + 20)
 	if err != nil {
 		return "", err
 	}
@@ -140,7 +139,7 @@ func RunFig7(seed int64) (string, error) {
 		return "", err
 	}
 	updateErr := mgr.Update("brake-ctrl", "2.2", appr22, []*ssi.Credential{compat22}, 300)
-	fmt.Fprintf(&b, "update to revoked 2.2: %v (rolled back to %s)\n", updateErr != nil, comp.Version)
+	fmt.Fprintf(&b, "update to revoked 2.2 rejected=%v (component stays at %s)\n", updateErr != nil, comp.Version)
 
 	b.WriteString("\naudit log:\n")
 	for _, l := range mgr.Log {
@@ -151,11 +150,11 @@ func RunFig7(seed int64) (string, error) {
 
 // RunFig8 regenerates Fig. 8: the kill chain under every single-defence
 // configuration plus none/all, quantifying where the chain breaks.
-func RunFig8(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunFig8(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	const fleet, points = 200, 40
 
-	tb := sim.NewTable("Fig. 8 — CARIAD-style telemetry kill chain vs defences",
+	tb := rc.Table("Fig. 8 — CARIAD-style telemetry kill chain vs defences",
 		"defences", "chain-broken-at", "records", "vehicles", "precision-m", "personal-data")
 
 	runCase := func(label string, cfg telemetry.Config) {
@@ -178,16 +177,20 @@ func RunFig8(seed int64) (string, error) {
 	b.WriteString(tb.String())
 	b.WriteString("\nfull trace of the undefended chain:\n")
 	cloud := telemetry.NewCloud(telemetry.WorstCase(), fleet, points, rng.Fork())
-	b.WriteString(killchain.Run(cloud).String())
+	rep := killchain.Run(cloud)
+	b.WriteString(rep.String())
+	if rep.Breached {
+		rc.Metric("BREACH", float64(rep.RecordsExfiltrated))
+	}
 	return b.String(), nil
 }
 
 // RunExpStealth operationalizes §V-B takeaway 1 — "lack of incidents is
 // not an indication of security": identical data theft, loud vs
 // patient, against a cloud with monitoring enabled.
-func RunExpStealth(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
-	tb := sim.NewTable("§V-B — exfiltration strategy vs cloud monitoring (200-vehicle fleet)",
+func RunExpStealth(rc *RunContext) (string, error) {
+	rng := rc.RNG()
+	tb := rc.Table("§V-B — exfiltration strategy vs cloud monitoring (200-vehicle fleet)",
 		"strategy", "records", "vehicles", "detected", "alerts", "logical-steps")
 	for _, strategy := range []killchain.ExfilStrategy{killchain.BulkExfil, killchain.LowAndSlow} {
 		cloud := telemetry.NewCloud(telemetry.WorstCase(), 200, 40, rng.Fork())
@@ -209,14 +212,14 @@ func RunExpStealth(seed int64) (string, error) {
 // RunFig9 regenerates Fig. 9: the MaaS system-of-systems inventory,
 // per-level attack surface, responsibility gaps, and cascade risk from
 // each entry point before and after boundary hardening.
-func RunFig9(seed int64) (string, error) {
+func RunFig9(rc *RunContext) (string, error) {
 	m, err := sos.BuildMaaS()
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 
-	inv := sim.NewTable("Fig. 9 — AV MaaS system of systems (levels 0–3)",
+	inv := rc.Table("Fig. 9 — AV MaaS system of systems (levels 0–3)",
 		"level", "systems", "interfaces", "external", "external-by-kind")
 	for _, r := range m.AttackSurface() {
 		kinds := ""
@@ -231,12 +234,13 @@ func RunFig9(seed int64) (string, error) {
 
 	unowned, cross := m.ResponsibilityGaps()
 	fmt.Fprintf(&b, "\nresponsibility gaps: %d links have no security owner (of %d cross-stakeholder links):\n", len(unowned), len(cross))
+	rc.Metric("responsibility gaps", float64(len(unowned)))
 	for _, l := range unowned {
 		fmt.Fprintf(&b, "  %s → %s\n", l.From, l.To)
 	}
 
-	rng := sim.NewRNG(seed)
-	casc := sim.NewTable("cascade risk (10000 trials per entry)",
+	rng := rc.RNG()
+	casc := rc.Table("cascade risk (10000 trials per entry)",
 		"entry", "mean-compromised", "P(safety-critical)", "hardened-mean", "hardened-P")
 	for _, entry := range []string{"backend", "hub", "passenger-os", "sense"} {
 		before, err := m.Cascade(entry, 10000, rng.Fork())

@@ -13,10 +13,10 @@ import (
 // RunExpTARA reproduces the regulatory angle of §VI: an ISO/SAE
 // 21434-style risk worksheet for the vehicle, before and after the
 // framework's technical controls are applied as treatments.
-func RunExpTARA(seed int64) (string, error) {
+func RunExpTARA(rc *RunContext) (string, error) {
 	var b strings.Builder
 	render := func(title string, a *tara.Analysis) {
-		tb := sim.NewTable(title,
+		tb := rc.Table(title,
 			"threat scenario", "asset", "impact", "feasibility", "risk", "decision", "control")
 		for _, r := range a.Worksheet() {
 			tb.AddRow(r.Scenario, r.Asset, r.Impact.String(), r.Feasibility.String(), int(r.Risk), r.Decision, r.Treatment)
@@ -44,10 +44,11 @@ func RunExpTARA(seed int64) (string, error) {
 		}
 		return total
 	}
-	fmt.Fprintf(&b, "aggregate risk %d → %d; mandatory reductions remaining: %d → %d\n",
-		sumRisk(before), sumRisk(after),
+	fmt.Fprintf(&b, "aggregate risk: %d before → %d after treatment\n", sumRisk(before), sumRisk(after))
+	rc.Metric("aggregate risk", float64(sumRisk(before)))
+	fmt.Fprintf(&b, "mandatory reductions remaining: %d → %d\n",
 		len(before.ResidualAboveThreshold(3)), len(after.ResidualAboveThreshold(3)))
-	_ = seed
+	rc.Metric("mandatory reductions remaining", float64(len(before.ResidualAboveThreshold(3))))
 	return b.String(), nil
 }
 
@@ -55,11 +56,11 @@ func RunExpTARA(seed int64) (string, error) {
 // too tight and analog noise causes false positives on the legitimate
 // transmitter; too loose and masquerade frames slip through. The sweep
 // produces the detector's operating curve.
-func RunAblateIDSThreshold(seed int64) (string, error) {
-	rng := sim.NewRNG(seed)
+func RunAblateIDSThreshold(rc *RunContext) (string, error) {
+	rng := rc.RNG()
 	const frames = 400
 
-	tb := sim.NewTable("ablation — sender-ID match radius (400 legit + 400 masquerade frames)",
+	tb := rc.Table("ablation — sender-ID match radius (400 legit + 400 masquerade frames)",
 		"radius", "false-positive-rate", "miss-rate")
 	for _, radius := range []float64{0.02, 0.05, 0.10, 0.25, 0.50, 0.80, 1.20} {
 		s := ids.NewSenderIdentifier(rng.Fork())

@@ -68,7 +68,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out, err := e.Run(42)
+			out, err := e.Run(NewRunContext(42))
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}

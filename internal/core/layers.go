@@ -10,6 +10,9 @@
 //
 // The package also hosts the experiment registry that regenerates every
 // figure and table of the paper from the substrate simulations.
+//
+// Package core also hosts the experiment registry: fig1 runs directly on
+// this framework, and `avsec list` enumerates every id.
 package core
 
 import (

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"autosec/internal/sim"
+)
+
+// RunContext carries the observability plumbing of one experiment run:
+// the seed, the typed metric sink, and the structured tracer. Both
+// sinks may be nil, in which case every helper degrades to the exact
+// legacy behaviour at no cost — experiments never need to nil-check.
+type RunContext struct {
+	// Seed is the deterministic simulation seed of this run.
+	Seed int64
+	// Metrics collects the typed values the run publishes (nil = off).
+	Metrics *sim.MetricSet
+	// Tracer receives structured trace events (nil = off).
+	Tracer sim.Tracer
+
+	rng *sim.RNG
+}
+
+// NewRunContext returns a context for one run at the given seed with
+// structured capture disabled; tests and callers that want capture set
+// Metrics and Tracer before running.
+func NewRunContext(seed int64) *RunContext { return &RunContext{Seed: seed} }
+
+// Table returns a report table bound to the run's metric sink: its
+// numeric cells are published as typed metrics when the table renders.
+func (rc *RunContext) Table(title string, headers ...string) *sim.Table {
+	t := sim.NewTable(title, headers...)
+	t.BindMetrics(rc.Metrics)
+	return t
+}
+
+// Metric publishes one typed metric. Experiments call it alongside
+// prose report lines that carry a number, keeping the typed stream in
+// lockstep with the text the legacy scraper reads.
+func (rc *RunContext) Metric(name string, v float64) {
+	rc.Metrics.Add(name, v)
+}
+
+// RNG returns the run's root random source, creating it on first use.
+// Routing RNG construction through the context lets the run record a
+// final draw-count checkpoint in the trace.
+func (rc *RunContext) RNG() *sim.RNG {
+	if rc.rng == nil {
+		rc.rng = sim.NewRNG(rc.Seed)
+	}
+	return rc.rng
+}
+
+// Kernel returns a simulation kernel seeded with the run's seed and
+// wired to the run's tracer, so scheduled/executed events, metric
+// samples, and RNG checkpoints land in the trace.
+func (rc *RunContext) Kernel() *sim.Kernel {
+	k := sim.NewKernel(rc.Seed)
+	if rc.Tracer != nil {
+		k.SetTracer(rc.Tracer)
+	}
+	return k
+}
+
+// RunResult is the structured outcome of one experiment run.
+type RunResult struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Source  string       `json:"source"`
+	Seed    int64        `json:"seed"`
+	Report  string       `json:"-"`
+	Metrics []sim.Metric `json:"metrics"`
+}
+
+// WriteJSON writes the result as a stable, indented JSON document.
+func (r *RunResult) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\n  \"id\": %q,\n  \"title\": %q,\n  \"source\": %q,\n  \"seed\": %d,\n  \"metrics\": [",
+		r.ID, r.Title, r.Source, r.Seed)
+	for i, m := range r.Metrics {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "\n    {\"name\": %q, \"value\": %s}", m.Name, sim.FormatJSONNumber(m.Value))
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RunOptions selects the observability sinks of RunExperimentResult.
+type RunOptions struct {
+	// Tracer, when non-nil, receives the run's structured trace.
+	Tracer sim.Tracer
+}
+
+// RunExperimentResult runs one experiment by id with structured metric
+// capture (and optionally tracing) enabled, returning the report
+// alongside the typed metrics. The trace is bracketed by run-start and
+// run-end events; run-end carries the root RNG draw-count checkpoint.
+func RunExperimentResult(id string, seed int64, opt RunOptions) (*RunResult, error) {
+	e, err := lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	rc := NewRunContext(seed)
+	rc.Metrics = sim.NewMetricSet()
+	rc.Tracer = opt.Tracer
+	if rc.Tracer != nil {
+		rc.Metrics.BindTrace(rc.Tracer, nil)
+		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-start", Name: id, Value: float64(seed)})
+	}
+	report, err := e.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Tracer != nil {
+		var draws uint64
+		if rc.rng != nil {
+			draws = rc.rng.Draws()
+		}
+		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-end", Name: id, Draws: draws})
+	}
+	return &RunResult{ID: id, Title: e.Title, Source: e.Source, Seed: seed,
+		Report: report, Metrics: rc.Metrics.Metrics()}, nil
+}
+
+// RunExperiment runs one experiment by id with structured capture
+// disabled, returning only the report text — the legacy entry point the
+// campaign scraper path and the benchmarks use.
+func RunExperiment(id string, seed int64) (string, error) {
+	e, err := lookup(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Run(NewRunContext(seed))
+}
+
+// lookup finds an experiment by id; unknown ids get an error that
+// lists near-miss suggestions so CLI typos are self-diagnosing.
+func lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	msg := fmt.Sprintf("core: unknown experiment %q", id)
+	if sug := SuggestExperiments(id, 3); len(sug) > 0 {
+		msg += fmt.Sprintf(" (did you mean %s?)", strings.Join(sug, ", "))
+	}
+	return Experiment{}, fmt.Errorf("%s — run 'avsec list' for all ids", msg)
+}
+
+// SuggestExperiments returns up to max registry ids closest to the
+// misspelled id by Damerau–Levenshtein distance, nearest first, ties in
+// registry order. Ids further than half their length away are omitted:
+// past that point the suggestion is noise, not help.
+func SuggestExperiments(id string, max int) []string {
+	type cand struct {
+		id   string
+		dist int
+		pos  int
+	}
+	var cands []cand
+	for pos, e := range Experiments() {
+		d := editDistance(id, e.ID)
+		limit := len(e.ID) / 2
+		if limit < 2 {
+			limit = 2
+		}
+		if d <= limit || strings.HasPrefix(e.ID, id) {
+			cands = append(cands, cand{e.ID, d, pos})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// editDistance computes the Damerau–Levenshtein distance (insertions,
+// deletions, substitutions, adjacent transpositions) between a and b.
+func editDistance(a, b string) int {
+	la, lb := len(a), len(b)
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			min := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < min {
+				min = v // insertion
+			}
+			if v := prev[j-1] + cost; v < min {
+				min = v // substitution
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < min {
+					min = v // transposition
+				}
+			}
+			cur[j] = min
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}

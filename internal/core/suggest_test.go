@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"fig8", "fig8", 0},
+		{"fig8", "", 4},
+		{"fig8", "fig9", 1}, // substitution
+		{"fig", "fig8", 1},  // insertion
+		{"ifg8", "fig8", 1}, // adjacent transposition
+		{"exp-ptp", "exp-ota", 2},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := editDistance(c.b, c.a); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSuggestExperiments(t *testing.T) {
+	cases := []struct {
+		id    string
+		first string // expected top suggestion
+	}{
+		{"fig88", "fig8"},
+		{"ifg8", "fig8"},
+		{"exp-pt", "exp-ptp"},
+		{"exp-tara2", "exp-tara"},
+		{"ablate-macs", "ablate-mac"},
+		{"exp", "exp-ca"}, // prefix match: first exp-* in registry order
+	}
+	for _, c := range cases {
+		got := SuggestExperiments(c.id, 3)
+		if len(got) == 0 || got[0] != c.first {
+			t.Errorf("SuggestExperiments(%q) = %v, want first %q", c.id, got, c.first)
+		}
+		if len(got) > 3 {
+			t.Errorf("SuggestExperiments(%q) returned %d ids, max is 3", c.id, len(got))
+		}
+	}
+}
+
+func TestSuggestExperimentsGarbageYieldsNothing(t *testing.T) {
+	// A wildly wrong id must not produce noise suggestions.
+	if got := SuggestExperiments("zzzzzzzzzzzzzzzz", 3); len(got) != 0 {
+		t.Errorf("SuggestExperiments(garbage) = %v, want none", got)
+	}
+}
+
+func TestUnknownExperimentError(t *testing.T) {
+	_, err := RunExperiment("fig88", 42)
+	if err == nil {
+		t.Fatal("unknown id must fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{`unknown experiment "fig88"`, "did you mean", "fig8", "avsec list"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not contain %q", msg, want)
+		}
+	}
+	if _, err := RunExperimentResult("fig88", 42, RunOptions{}); err == nil {
+		t.Fatal("RunExperimentResult with unknown id must fail")
+	}
+}

@@ -5,6 +5,8 @@
 // (Physical Layer Collision Avoidance) round-robin transmit
 // opportunities, which is what lets several endpoints share one
 // unshielded twisted pair.
+//
+// Exercised by experiments fig3-fig6, tab1, exp-vehicle, and exp-zc.
 package ethernet
 
 import (

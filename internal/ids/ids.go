@@ -5,6 +5,8 @@
 // identifier's legitimate transmitter, and a REACT-style response engine
 // (ref [56]) that contains detected intrusions by isolating the
 // offending node and alerting.
+//
+// Exercised by experiments exp-ids and ablate-ids.
 package ids
 
 import (

@@ -5,6 +5,8 @@
 // package tlslite, the goal is a faithful protocol *shape* — header
 // overhead, SA state, replay semantics — for the IVN comparisons, not
 // an RFC 4303 implementation.
+//
+// Exercised by experiment tab1.
 package ipsec
 
 import (

@@ -15,6 +15,9 @@
 // compromised node attempt forgery and replay, and reports latency,
 // wire overhead, key storage, and crypto-processing load — the
 // quantities behind the trade-offs the paper describes qualitatively.
+//
+// Exercised by experiments fig3-fig6, exp-vehicle, exp-zc, and ablate-
+// scale.
 package ivn
 
 import (
@@ -40,6 +43,19 @@ type Config struct {
 	// Replays is the number of attacker replay attempts (captured
 	// legitimate traffic re-sent).
 	Replays int
+	// Tracer, when non-nil, is attached to the scenario's simulation
+	// kernel so scheduled/executed events and metric samples land in
+	// the run's structured trace.
+	Tracer sim.Tracer
+}
+
+// newKernel builds the scenario kernel, attaching the configured tracer.
+func (cfg Config) newKernel() *sim.Kernel {
+	k := sim.NewKernel(cfg.Seed)
+	if cfg.Tracer != nil {
+		k.SetTracer(cfg.Tracer)
+	}
+	return k
 }
 
 // DefaultConfig returns the workload used by the Fig. 4–6 experiments.

@@ -20,7 +20,7 @@ const attackSeqBase = uint32(1) << 31
 // computer. Every masquerade and replay succeeds — the starting point
 // the paper's Table I protocols exist to fix.
 func RunBaseline(cfg Config) (Result, error) {
-	k := sim.NewKernel(cfg.Seed)
+	k := cfg.newKernel()
 	res := Result{Scenario: "baseline", Sent: cfg.Messages}
 	tracker := newFlowTracker()
 
@@ -107,7 +107,7 @@ func RunBaseline(cfg Config) (Result, error) {
 // performs security processing per message — the S1 costs the paper
 // lists — and SECOC provides authenticity only.
 func RunS1(cfg Config) (Result, error) {
-	k := sim.NewKernel(cfg.Seed)
+	k := cfg.newKernel()
 	res := Result{Scenario: "S1", Sent: cfg.Messages}
 	tracker := newFlowTracker()
 
@@ -252,7 +252,7 @@ const (
 // RunS2 implements Fig. 5: a homogeneous Ethernet path — endpoint on a
 // 10BASE-T1S multidrop segment, zone controller, central computer.
 func RunS2(cfg Config, mode S2Mode) (Result, error) {
-	k := sim.NewKernel(cfg.Seed)
+	k := cfg.newKernel()
 	name := "S2-e2e"
 	if mode == S2PointToPoint {
 		name = "S2-p2p"
@@ -413,7 +413,7 @@ func RunS2(cfg Config, mode S2Mode) (Result, error) {
 // through the CAN Adaptation Layer. The zone controller reassembles and
 // forwards tunnelled Ethernet frames without holding any keys.
 func RunS3(cfg Config) (Result, error) {
-	k := sim.NewKernel(cfg.Seed)
+	k := cfg.newKernel()
 	res := Result{Scenario: "S3", Sent: cfg.Messages}
 	tracker := newFlowTracker()
 

@@ -52,7 +52,7 @@ func (f *flowState) stats() FlowStats {
 // RunFullVehicle executes the combined topology for cfg.Messages
 // messages per flow.
 func RunFullVehicle(cfg Config) (*VehicleResult, error) {
-	k := sim.NewKernel(cfg.Seed)
+	k := cfg.newKernel()
 	res := &VehicleResult{}
 
 	flowCAN := newFlow("ecu1→cc (SECOC+MACsec)")

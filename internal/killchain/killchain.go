@@ -6,6 +6,8 @@
 // experiment can show precisely which defence breaks which link — the
 // paper's point that one hardening step anywhere in the chain stops the
 // breach.
+//
+// Exercised by experiments fig8 and exp-stealth.
 package killchain
 
 import (

@@ -4,6 +4,8 @@
 // confidentiality and integrity-only modes, and an MKA-style key
 // agreement (paper ref [25]) that derives and distributes session keys
 // (SAKs) from a pre-shared connectivity association key (CAK).
+//
+// Exercised by experiments tab1, fig4-fig6, exp-vehicle, and exp-zc.
 package macsec
 
 import (

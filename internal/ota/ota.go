@@ -5,6 +5,8 @@
 // mechanism that makes "software can be replaced, updated, or
 // reconfigured after production" survive both attackers and bad
 // releases.
+//
+// Exercised by experiment exp-ota.
 package ota
 
 import (
@@ -126,7 +128,7 @@ func (d *Device) Install(m *Manifest, image []byte) error {
 		return fmt.Errorf("ota: %w", err)
 	}
 	if m.Counter <= d.slots[d.active].Counter {
-		d.Log = append(d.Log, fmt.Sprintf("REJECT install: rollback (counter %d <= %d)", m.Counter, d.slots[d.active].Counter))
+		d.Log = append(d.Log, fmt.Sprintf("REJECT rollback install (counter %d <= active %d)", m.Counter, d.slots[d.active].Counter))
 		return fmt.Errorf("ota: anti-rollback: manifest counter %d not above installed %d", m.Counter, d.slots[d.active].Counter)
 	}
 	standby := 1 - d.active

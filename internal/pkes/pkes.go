@@ -13,6 +13,10 @@
 // The identity layer is real crypto (AES-CMAC challenge–response); the
 // point the package demonstrates is that it survives a relay untouched,
 // which is exactly why physical-layer security is needed.
+//
+// No registry experiment drives this package; the §II-A relay/replay
+// properties are verified by its own test suite (fig2 covers the UWB
+// ranging layer beneath it).
 package pkes
 
 import (

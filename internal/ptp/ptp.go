@@ -9,6 +9,8 @@
 // unbalances the cycles, which both detects the attack and, with three
 // or more disjoint paths, localizes the attacked path so a clean one can
 // be used.
+//
+// Exercised by experiment exp-ptp (paper §VIII).
 package ptp
 
 import (

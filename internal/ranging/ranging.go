@@ -4,6 +4,8 @@
 // distance bounding with the classic fraud strategies. Where package uwb
 // models what one radio observation can be made to say, this package
 // models what a *protocol* concludes from message round trips.
+//
+// Exercised by experiments fig2 and ablate-sts.
 package ranging
 
 import (

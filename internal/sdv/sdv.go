@@ -5,6 +5,8 @@
 // proves it is approved and compatible, hardware proves it is genuine
 // and capable, and the stakeholders issuing those proofs are different
 // companies with different trust anchors (Fig. 7).
+//
+// Exercised by experiment fig7.
 package sdv
 
 import (

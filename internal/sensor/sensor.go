@@ -4,6 +4,8 @@
 // a cooperative two-way-ranging channel (UWB / 5G PRS) with physical-
 // layer integrity checks (refs [12], [13]); and fusion policies from
 // naive single-source trust to ranging-verified fail-safe fusion.
+//
+// Exercised by experiment exp-ca.
 package sensor
 
 import (

@@ -13,6 +13,15 @@ import (
 type Metrics struct {
 	counters map[string]int64
 	series   map[string][]float64
+	tracer   Tracer
+	now      func() Time
+}
+
+// bindTrace mirrors every Inc and Observe into tr as "counter" and
+// "series" trace events stamped with now(). Called by Kernel.SetTracer.
+func (m *Metrics) bindTrace(tr Tracer, now func() Time) {
+	m.tracer = tr
+	m.now = now
 }
 
 // NewMetrics returns an empty registry.
@@ -24,7 +33,12 @@ func NewMetrics() *Metrics {
 }
 
 // Inc adds delta to the named counter.
-func (m *Metrics) Inc(name string, delta int64) { m.counters[name] += delta }
+func (m *Metrics) Inc(name string, delta int64) {
+	m.counters[name] += delta
+	if m.tracer != nil {
+		m.tracer.Trace(TraceEvent{T: m.now(), Kind: "counter", Name: name, Value: float64(delta)})
+	}
+}
 
 // Counter returns the value of the named counter (0 if never set).
 func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
@@ -32,6 +46,9 @@ func (m *Metrics) Counter(name string) int64 { return m.counters[name] }
 // Observe appends a sample to the named series.
 func (m *Metrics) Observe(name string, v float64) {
 	m.series[name] = append(m.series[name], v)
+	if m.tracer != nil {
+		m.tracer.Trace(TraceEvent{T: m.now(), Kind: "series", Name: name, Value: v})
+	}
 }
 
 // Series returns the raw samples of the named series.

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric is one named numeric observation published by an experiment.
+// It is the typed counterpart of a number appearing in a report: rate
+// cells of the form "a/b" are published as the fraction a/b so that
+// attack-success and delivery rates aggregate naturally across seeds.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// MetricSet is an ordered collection of typed metrics with the same
+// naming discipline the legacy report scraper uses: a name repeated
+// within one set gets a "#2", "#3", ... suffix, so metrics align
+// one-to-one across seeds of the same experiment. The zero value and
+// the nil pointer are both usable; Add on a nil set is a no-op, which
+// is the zero-cost path when structured capture is disabled.
+type MetricSet struct {
+	metrics []Metric
+	seen    map[string]int
+	tracer  Tracer
+	now     func() Time
+}
+
+// NewMetricSet returns an empty set.
+func NewMetricSet() *MetricSet { return &MetricSet{} }
+
+// BindTrace mirrors every subsequent Add into tr as a "metric" trace
+// event, stamped with now() if non-nil.
+func (ms *MetricSet) BindTrace(tr Tracer, now func() Time) {
+	if ms == nil {
+		return
+	}
+	ms.tracer = tr
+	ms.now = now
+}
+
+// Add publishes one metric. Repeated names get an ordinal suffix.
+func (ms *MetricSet) Add(name string, v float64) {
+	if ms == nil {
+		return
+	}
+	if ms.seen == nil {
+		ms.seen = make(map[string]int)
+	}
+	ms.seen[name]++
+	if n := ms.seen[name]; n > 1 {
+		name += "#" + strconv.Itoa(n)
+	}
+	ms.metrics = append(ms.metrics, Metric{Name: name, Value: v})
+	if ms.tracer != nil {
+		var t Time
+		if ms.now != nil {
+			t = ms.now()
+		}
+		ms.tracer.Trace(TraceEvent{T: t, Kind: "metric", Name: name, Value: v})
+	}
+}
+
+// Len reports the number of metrics published so far.
+func (ms *MetricSet) Len() int {
+	if ms == nil {
+		return 0
+	}
+	return len(ms.metrics)
+}
+
+// Metrics returns the published metrics in publication order.
+func (ms *MetricSet) Metrics() []Metric {
+	if ms == nil {
+		return nil
+	}
+	return append([]Metric(nil), ms.metrics...)
+}
+
+// WriteJSON writes the metrics as a JSON array, one stable-ordered
+// object per metric, indented for readability. Output is deterministic.
+func (ms *MetricSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	m := ms.Metrics()
+	if m == nil {
+		m = []Metric{}
+	}
+	return enc.Encode(m)
+}
+
+// WriteCSV writes the metrics as "name,value" CSV rows with a header.
+// Names containing commas or quotes are quoted per RFC 4180.
+func (ms *MetricSet) WriteCSV(w io.Writer) error {
+	return WriteMetricsCSV(w, ms.Metrics())
+}
+
+// WriteMetricsCSV writes an already-collected metric slice as the same
+// "name,value" CSV document MetricSet.WriteCSV produces.
+func WriteMetricsCSV(w io.Writer, metrics []Metric) error {
+	if _, err := io.WriteString(w, "name,value\n"); err != nil {
+		return err
+	}
+	for _, m := range metrics {
+		name := m.Name
+		if strings.ContainsAny(name, ",\"\n") {
+			name = `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s\n", name, FormatJSONNumber(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatJSONNumber renders v the way encoding/json does, so CSV and
+// JSON exports of the same metric are textually consistent.
+func FormatJSONNumber(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// ParseMetricNumber parses a report token as a metric value: a plain
+// float ("166.4", "2.33e-10") or an integer rate "a/b" (returned as the
+// fraction a/b). Surrounding punctuation from prose ("(", "),", "×",
+// ...) is stripped; tokens that are not purely numeric ("V2X",
+// "10B-T1S", "-") are rejected. This is the single definition shared by
+// the typed table capture and the legacy report scraper, so both paths
+// agree on what counts as a number.
+func ParseMetricNumber(tok string) (float64, bool) {
+	tok = strings.Trim(tok, "(){}[],;:×%")
+	if tok == "" {
+		return 0, false
+	}
+	if num, den, ok := strings.Cut(tok, "/"); ok {
+		a, errA := strconv.ParseInt(num, 10, 64)
+		b, errB := strconv.ParseInt(den, 10, 64)
+		if errA != nil || errB != nil || b <= 0 {
+			return 0, false
+		}
+		return float64(a) / float64(b), true
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

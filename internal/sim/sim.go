@@ -6,6 +6,9 @@
 // same event schedule must produce identical results, because the
 // experiment harness compares attack success rates across defence
 // configurations. No simulation path may consult wall-clock time.
+//
+// Every registry experiment runs on this kernel; the structured trace
+// facility (Tracer, TraceEvent) is documented in docs/OBSERVABILITY.md.
 package sim
 
 import (
@@ -87,6 +90,7 @@ type Kernel struct {
 	stopped bool
 	limit   int // safety cap on processed events; 0 = unlimited
 	handled int
+	tracer  Tracer
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -110,6 +114,19 @@ func (k *Kernel) Metrics() *Metrics { return k.metrics }
 // Run returns with an error; a guard against runaway schedules in tests.
 func (k *Kernel) SetEventLimit(n int) { k.limit = n }
 
+// SetTracer attaches a structured tracer. The kernel then emits one
+// event per Schedule, per executed event (carrying the cumulative RNG
+// draw count as a determinism checkpoint), and per Cancel, and the
+// metric registry mirrors every Inc/Observe. A nil tracer disables all
+// of it; the disabled cost is a single nil comparison per hook.
+func (k *Kernel) SetTracer(t Tracer) {
+	k.tracer = t
+	k.metrics.bindTrace(t, k.Now)
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (k *Kernel) Tracer() Tracer { return k.tracer }
+
 // Schedule enqueues fn to run at absolute virtual time at. Scheduling in
 // the past is an error that panics: it always indicates a logic bug in a
 // protocol model, never a recoverable condition.
@@ -120,6 +137,9 @@ func (k *Kernel) Schedule(at Time, name string, fn func(k *Kernel)) *Event {
 	e := &Event{At: at, Name: name, Run: fn, seq: k.seq}
 	k.seq++
 	heap.Push(&k.queue, e)
+	if k.tracer != nil {
+		k.tracer.Trace(TraceEvent{T: k.now, Kind: "schedule", Name: name, Seq: e.seq, At: at})
+	}
 	return e
 }
 
@@ -136,6 +156,9 @@ func (k *Kernel) Cancel(e *Event) {
 	}
 	heap.Remove(&k.queue, e.idx)
 	e.idx = -1
+	if k.tracer != nil {
+		k.tracer.Trace(TraceEvent{T: k.now, Kind: "cancel", Name: e.Name, Seq: e.seq})
+	}
 }
 
 // Stop makes Run return after the current event completes.
@@ -155,6 +178,9 @@ func (k *Kernel) Run(horizon Time) error {
 		k.now = e.At
 		e.Run(k)
 		k.handled++
+		if k.tracer != nil {
+			k.tracer.Trace(TraceEvent{T: k.now, Kind: "exec", Name: e.Name, Seq: e.seq, Draws: k.rng.Draws()})
+		}
 		if k.limit > 0 && k.handled >= k.limit {
 			return fmt.Errorf("sim: event limit %d reached at %v (last %q)", k.limit, k.now, e.Name)
 		}
@@ -174,6 +200,7 @@ func (k *Kernel) Processed() int { return k.handled }
 // outputs.
 type RNG struct {
 	state uint64
+	draws uint64
 }
 
 // NewRNG returns a generator seeded with seed. Seed 0 is remapped to a
@@ -186,8 +213,15 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{state: s}
 }
 
+// Draws reports the number of 64-bit words drawn so far. It is the
+// cheapest possible determinism checkpoint: two runs of the same seed
+// must show identical draw counts at identical virtual times, so a
+// divergence pins the first event that consumed randomness differently.
+func (r *RNG) Draws() uint64 { return r.draws }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
+	r.draws++
 	r.state += 0x9E3779B97F4A7C15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

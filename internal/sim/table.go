@@ -6,17 +6,28 @@ import (
 )
 
 // Table is a tiny text-table builder used by the experiment harness to
-// print figure/table reproductions in a stable, diffable format.
+// print figure/table reproductions in a stable, diffable format. A
+// table bound to a MetricSet additionally publishes every numeric cell
+// as a typed metric when it is first rendered, named
+// "<row label>/<column header>" — the same naming the campaign report
+// scraper derives from the rendered text, so the typed and scraped
+// metric streams align.
 type Table struct {
-	title   string
-	headers []string
-	rows    [][]string
+	title     string
+	headers   []string
+	rows      [][]string
+	ms        *MetricSet
+	published bool
 }
 
 // NewTable returns a table with the given title and column headers.
 func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
+
+// BindMetrics attaches ms; on first render the table publishes its
+// numeric cells into it. A nil ms disables publication.
+func (t *Table) BindMetrics(ms *MetricSet) { t.ms = ms }
 
 // AddRow appends a row; cells are formatted with %v.
 func (t *Table) AddRow(cells ...any) {
@@ -35,8 +46,33 @@ func (t *Table) AddRow(cells ...any) {
 // Rows returns the number of data rows added so far.
 func (t *Table) Rows() int { return len(t.rows) }
 
-// String renders the table with aligned columns.
+// publish emits every numeric cell of every row as a typed metric, in
+// row-major order, exactly once. Values are taken from the rendered
+// cell text via ParseMetricNumber, so the published value is precisely
+// the number the report displays (and the one the legacy scraper would
+// recover).
+func (t *Table) publish() {
+	if t.ms == nil || t.published {
+		return
+	}
+	t.published = true
+	for _, row := range t.rows {
+		if len(row) < 2 {
+			continue
+		}
+		label := row[0]
+		for i := 1; i < len(row) && i < len(t.headers); i++ {
+			if v, ok := ParseMetricNumber(row[i]); ok {
+				t.ms.Add(label+"/"+t.headers[i], v)
+			}
+		}
+	}
+}
+
+// String renders the table with aligned columns. If the table is bound
+// to a MetricSet, the first render publishes the numeric cells.
 func (t *Table) String() string {
+	t.publish()
 	width := make([]int, len(t.headers))
 	for i, h := range t.headers {
 		width[i] = len(h)

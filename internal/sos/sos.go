@@ -4,6 +4,8 @@
 // which compromise cascades, and stakeholder/responsibility annotations
 // whose gaps are themselves a finding ("ambiguous roles and
 // responsibilities ... hinder comprehensive risk assessments").
+//
+// Exercised by experiment fig9.
 package sos
 
 import (

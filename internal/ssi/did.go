@@ -8,6 +8,8 @@
 //
 // Timestamps are explicit int64 Unix-style seconds supplied by the
 // caller (the simulation clock), never wall-clock time.
+//
+// Exercised by experiment fig7.
 package ssi
 
 import (

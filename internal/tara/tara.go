@@ -6,6 +6,8 @@
 // rate impact on four categories; threat scenarios carry attack paths
 // whose feasibility is scored by attack potential; the risk matrix
 // combines the two and drives treatment decisions.
+//
+// Exercised by experiment exp-tara.
 package tara
 
 import (

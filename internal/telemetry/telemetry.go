@@ -5,6 +5,8 @@
 // formed the kill chain of Fig. 8 (exposed heap-dump endpoint,
 // credentials in process memory, an over-privileged master key), plus
 // the hardening switches that break each link.
+//
+// Exercised by experiments fig8 and exp-stealth.
 package telemetry
 
 import (

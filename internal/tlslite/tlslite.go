@@ -8,6 +8,8 @@
 // experiments need the *shape* of a transport-layer channel (handshake
 // round trips, per-record overhead, replay window semantics) to compare
 // against SECOC, MACsec, IPsec, and CANsec on the same links.
+//
+// Exercised by experiment tab1.
 package tlslite
 
 import (

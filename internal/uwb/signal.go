@@ -11,6 +11,8 @@
 // signal annihilation and overshadowing — are properties of the
 // correlation and detection mathematics, which this package implements
 // faithfully on float64 sample vectors.
+//
+// Exercised by experiments fig2 and ablate-sts.
 package uwb
 
 import (

@@ -6,6 +6,9 @@
 // linkage, and escrowed resolution so a misbehaving vehicle's
 // pseudonyms can be traced and revoked without making everyone
 // permanently trackable.
+//
+// Exercised by experiment exp-v2x and the cross-layer integration test
+// in internal/core.
 package v2x
 
 import (

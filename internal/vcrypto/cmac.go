@@ -6,6 +6,9 @@
 //
 // Everything here wraps crypto/aes, crypto/hmac, and crypto/sha256 from
 // the standard library; no primitives are invented.
+//
+// Underpins every protected-channel experiment (tab1, fig4-fig6, exp-
+// vehicle, exp-zc) as the shared crypto substrate.
 package vcrypto
 
 import (

@@ -4,6 +4,9 @@
 // *sample* this world with noise and adversarial distortion; having an
 // exact ground truth is what lets the experiments score attacks and
 // defences objectively.
+//
+// Exercised by experiments exp-ca, exp-collab, exp-v2x, and ablate-k
+// (the shared 2-D world).
 package world
 
 import (

@@ -21,6 +21,7 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, err := core.RunExperiment(id, 42)
 		if err != nil {
@@ -101,6 +102,7 @@ func BenchmarkCampaignAll(b *testing.B) {
 // --- substrate micro-benchmarks (hot paths) ---
 
 func BenchmarkCMAC64B(b *testing.B) {
+	b.ReportAllocs()
 	key := []byte("0123456789abcdef")
 	msg := make([]byte, 64)
 	b.SetBytes(64)
@@ -112,6 +114,7 @@ func BenchmarkCMAC64B(b *testing.B) {
 }
 
 func BenchmarkGCMSeal1KiB(b *testing.B) {
+	b.ReportAllocs()
 	key := vcrypto.DeriveKey([]byte("0123456789abcdef"), "bench", "gcm", 16)
 	msg := make([]byte, 1024)
 	b.SetBytes(1024)
@@ -123,6 +126,7 @@ func BenchmarkGCMSeal1KiB(b *testing.B) {
 }
 
 func BenchmarkUWBCorrelate256(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewRNG(1)
 	sts, err := uwb.NewSTS([]byte("0123456789abcdef"), 1, 256)
 	if err != nil {
@@ -139,6 +143,7 @@ func BenchmarkUWBCorrelate256(b *testing.B) {
 }
 
 func BenchmarkSecureToA(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewRNG(1)
 	sess := uwb.Session{
 		Key: []byte("0123456789abcdef"), Session: 1, Pulses: 256,
@@ -153,6 +158,7 @@ func BenchmarkSecureToA(b *testing.B) {
 }
 
 func BenchmarkIVNScenarioS1Throughput(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ivn.Config{Seed: 1, Messages: 100, PeriodUs: 500, PayloadBytes: 4}
 	for i := 0; i < b.N; i++ {
 		res, err := ivn.RunS1(cfg)

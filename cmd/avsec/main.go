@@ -204,6 +204,12 @@ func typedRun(id string, seed int64) (string, []campaign.Metric, error) {
 	return r.Report, r.Metrics, nil
 }
 
+// costHint exposes the registry's measured cost ranks to the campaign
+// scheduler so the slow experiments dispatch first.
+func costHint(byID map[string]core.Experiment) func(string) int {
+	return func(id string) int { return byID[id].Cost }
+}
+
 // runExpmd regenerates EXPERIMENTS.md on stdout: every experiment runs
 // once at the documented seed (42), and the typed metric stream feeds
 // the template in internal/docs. CI regenerates and diffs this, so the
@@ -253,6 +259,7 @@ func runAll(args []string) {
 		Jobs:     *jobs,
 		Recheck:  *recheck,
 		RunTyped: typedRun,
+		CostHint: costHint(byID),
 		OnCell: func(c campaign.CellResult) {
 			e := byID[c.ID]
 			fmt.Printf("═══ %s (%s) — %s ═══\n", e.ID, e.Source, e.Title)
@@ -274,6 +281,7 @@ func runAll(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "avsec: %d experiments (%d rechecked) in %v\n",
 		len(res.Cells), res.Rechecked(), res.Elapsed.Round(1e6))
+	fmt.Fprint(os.Stderr, "avsec: "+res.RenderTimings(3))
 }
 
 // writeAllJSON renders an `avsec all` result as a JSON array of runs,
@@ -309,13 +317,16 @@ func runCampaign(args []string) {
 	jobs := fs.Int("jobs", 0, "worker pool size (0 = GOMAXPROCS)")
 	recheck := fs.Float64("recheck", 0.25, "fraction of cells double-executed as a determinism self-check")
 	jsonFile := fs.String("json", "", "write the aggregate results as JSON to this file")
+	timings := fs.Bool("timings", false, "include per-cell wall-clock timings in the -json document (non-deterministic)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	known := make(map[string]bool)
+	byID := make(map[string]core.Experiment)
 	var ids []string
 	for _, e := range core.Experiments() {
 		known[e.ID] = true
+		byID[e.ID] = e
 		ids = append(ids, e.ID)
 	}
 	if fs.NArg() > 0 {
@@ -337,6 +348,7 @@ func runCampaign(args []string) {
 		Jobs:     *jobs,
 		Recheck:  *recheck,
 		RunTyped: typedRun,
+		CostHint: costHint(byID),
 	})
 	if err != nil {
 		if res != nil {
@@ -347,13 +359,18 @@ func runCampaign(args []string) {
 		os.Exit(1)
 	}
 	if *jsonFile != "" {
-		if err := writeFileWith(*jsonFile, res.WriteJSON); err != nil {
+		writeJSON := res.WriteJSON
+		if *timings {
+			writeJSON = res.WriteJSONWithTimings
+		}
+		if err := writeFileWith(*jsonFile, writeJSON); err != nil {
 			fail(err)
 		}
 	}
 	fmt.Print(res.RenderSummary())
 	fmt.Fprintf(os.Stderr, "avsec: %d cells (%d rechecked, 0 divergences) in %v\n",
 		len(res.Cells), res.Rechecked(), res.Elapsed.Round(1e6))
+	fmt.Fprint(os.Stderr, "avsec: "+res.RenderTimings(3))
 }
 
 func usage() {
@@ -364,9 +381,10 @@ func usage() {
                                                  trace, typed metrics, and pprof output
   avsec all [-seed N] [-jobs K] [-recheck F] [-json F]
                                                  run every experiment (pooled, ordered output)
-  avsec campaign [-seeds N] [-seed B] [-jobs K] [-recheck F] [-json F] [ids...]
-                                                 multi-seed campaign with aggregate stats
-                                                 and determinism self-check
+  avsec campaign [-seeds N] [-seed B] [-jobs K] [-recheck F] [-json F] [-timings] [ids...]
+                                                 multi-seed campaign with aggregate stats,
+                                                 determinism self-check, and slowest-cell
+                                                 timing diagnostics on stderr
   avsec expmd                                    regenerate EXPERIMENTS.md on stdout from
                                                  the registry and a seed-42 typed run
   avsec dot                                      emit the Fig. 9 model as Graphviz`)

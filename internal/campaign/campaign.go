@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -69,6 +70,13 @@ type Spec struct {
 	// as the cell and all its predecessors have finished. This gives
 	// callers streaming, ordered output from an out-of-order pool.
 	OnCell func(CellResult)
+	// CostHint, when non-nil, returns a relative cost rank for an
+	// experiment id (higher = slower). The pool dispatches
+	// highest-cost-first so a long cell starts early instead of
+	// straggling alone at the end of the campaign. Purely a scheduling
+	// hint: results, streaming order, and rendered output are identical
+	// for any hint (or none).
+	CostHint func(id string) int
 }
 
 // CellResult is the outcome of one (experiment, seed) run.
@@ -195,9 +203,24 @@ func Run(spec Spec) (*Result, error) {
 		jobs = len(grid)
 	}
 
+	// Dispatch order: grid order, unless a cost hint says some
+	// experiments run long — then longest-known-first, so the pool's
+	// tail is short cells instead of one straggler. Stable sort keeps
+	// grid order within equal cost; the collector below re-imposes grid
+	// order on all observable output either way.
+	order := make([]int, len(grid))
+	for i := range order {
+		order[i] = i
+	}
+	if spec.CostHint != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return spec.CostHint(grid[order[a]].ID) > spec.CostHint(grid[order[b]].ID)
+		})
+	}
+
 	start := time.Now()
 	tasks := make(chan int, len(grid))
-	for i := range grid {
+	for _, i := range order {
 		tasks <- i
 	}
 	close(tasks)

@@ -280,3 +280,108 @@ func TestElapsedRecordedButNotRendered(t *testing.T) {
 		t.Error("wall-clock leaked into the deterministic summary")
 	}
 }
+
+// TestCostHintDispatchesLongestFirst pins the scheduling contract: with
+// a cost hint and one worker, high-cost experiments execute first, while
+// every observable output — OnCell order and the rendered summary —
+// stays in grid order, byte-identical to an unhinted run.
+func TestCostHintDispatchesLongestFirst(t *testing.T) {
+	t.Parallel()
+	ids := []string{"cheap", "mid", "slow"}
+	seeds := Seeds(1, 2)
+	cost := map[string]int{"cheap": 1, "mid": 10, "slow": 100}
+
+	var mu sync.Mutex
+	var execOrder []string
+	recordingRun := func(id string, seed int64) (string, error) {
+		mu.Lock()
+		execOrder = append(execOrder, fmt.Sprintf("%s/%d", id, seed))
+		mu.Unlock()
+		return fakeRun(id, seed)
+	}
+	var cellOrder []string
+	res, err := Run(Spec{
+		IDs: ids, Seeds: seeds, Jobs: 1, Run: recordingRun,
+		CostHint: func(id string) int { return cost[id] },
+		OnCell:   func(c CellResult) { cellOrder = append(cellOrder, fmt.Sprintf("%s/%d", c.ID, c.Seed)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExec := []string{"slow/1", "slow/2", "mid/1", "mid/2", "cheap/1", "cheap/2"}
+	for i := range wantExec {
+		if execOrder[i] != wantExec[i] {
+			t.Fatalf("dispatch order = %v, want %v", execOrder, wantExec)
+		}
+	}
+	wantCells := []string{"cheap/1", "cheap/2", "mid/1", "mid/2", "slow/1", "slow/2"}
+	for i := range wantCells {
+		if cellOrder[i] != wantCells[i] {
+			t.Fatalf("OnCell order = %v, want grid order %v", cellOrder, wantCells)
+		}
+	}
+	unhinted, err := Run(Spec{IDs: ids, Seeds: seeds, Jobs: 1, Run: fakeRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RenderSummary() != unhinted.RenderSummary() {
+		t.Error("cost hint changed the rendered summary")
+	}
+}
+
+func TestSlowestCellsOrderAndTies(t *testing.T) {
+	t.Parallel()
+	res := &Result{
+		IDs: []string{"a", "b"}, Seeds: []int64{1, 2},
+		Cells: []CellResult{
+			{ID: "a", Seed: 1, Elapsed: 5 * time.Millisecond},
+			{ID: "a", Seed: 2, Elapsed: 30 * time.Millisecond},
+			{ID: "b", Seed: 1, Elapsed: 5 * time.Millisecond},
+			{ID: "b", Seed: 2, Elapsed: 90 * time.Millisecond},
+		},
+		Elapsed: 130 * time.Millisecond,
+	}
+	top := res.SlowestCells(3)
+	if len(top) != 3 || top[0].ID != "b" || top[0].Seed != 2 || top[1].ID != "a" || top[1].Seed != 2 {
+		t.Fatalf("SlowestCells(3) = %v/%v, %v/%v, %v/%v",
+			top[0].ID, top[0].Seed, top[1].ID, top[1].Seed, top[2].ID, top[2].Seed)
+	}
+	// Equal-time cells keep grid order: a/1 before b/1.
+	if top[2].ID != "a" || top[2].Seed != 1 {
+		t.Errorf("tie broken out of grid order: got %s/%d", top[2].ID, top[2].Seed)
+	}
+	if got := res.SlowestCells(99); len(got) != 4 {
+		t.Errorf("SlowestCells over-request returned %d cells", len(got))
+	}
+	out := res.RenderTimings(2)
+	if !strings.Contains(out, "b seed 2") || !strings.Contains(out, "a seed 2") {
+		t.Errorf("RenderTimings missing slowest cells: %q", out)
+	}
+	if strings.Contains(out, "a seed 1") {
+		t.Errorf("RenderTimings(2) rendered more than two cells: %q", out)
+	}
+}
+
+// TestWriteJSONTimingsOptIn: the default JSON document must stay free
+// of wall-clock data (it is diffed across worker counts); the timing
+// section appears only through the explicit opt-in writer.
+func TestWriteJSONTimingsOptIn(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Spec{IDs: []string{"x", "y"}, Seeds: Seeds(1, 3), Run: fakeRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, timed strings.Builder
+	if err := res.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSONWithTimings(&timed); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "timings") {
+		t.Error("default JSON document contains wall-clock timings")
+	}
+	if n := strings.Count(timed.String(), "elapsed_ms"); n != 6 {
+		t.Errorf("timed JSON has %d elapsed_ms entries, want 6", n)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"time"
 
 	"autosec/internal/sim"
 )
@@ -81,6 +83,46 @@ func (r *Result) RenderSummary() string {
 	return b.String()
 }
 
+// SlowestCells returns the n cells with the largest primary-execution
+// wall time, slowest first, ties broken by grid order. Wall-clock data
+// never feeds the deterministic tables; this accessor exists for the
+// timing diagnostics on stderr and the opt-in JSON timing section.
+func (r *Result) SlowestCells(n int) []*CellResult {
+	idx := make([]int, len(r.Cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.Cells[idx[a]].Elapsed > r.Cells[idx[b]].Elapsed
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]*CellResult, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, &r.Cells[i])
+	}
+	return out
+}
+
+// RenderTimings renders a one-line wall-clock diagnosis: campaign total
+// and the n slowest cells. Unlike RenderSummary this is explicitly
+// non-deterministic (it exists to spot stragglers and feed CostHint
+// tables), so callers must keep it out of any output that is compared
+// across runs — the CLI prints it to stderr only.
+func (r *Result) RenderTimings(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timing: %d cells in %v wall; slowest:", len(r.Cells), r.Elapsed.Round(time.Millisecond))
+	for i, c := range r.SlowestCells(n) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, " %s seed %d (%v)", c.ID, c.Seed, c.Elapsed.Round(time.Millisecond))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
 // jsonSummary mirrors ExperimentSummary with flattened aggregates for
 // machine consumption.
 type jsonSummary struct {
@@ -98,12 +140,30 @@ type jsonMetric struct {
 	Spread float64 `json:"spread"`
 }
 
+// jsonTiming is one cell's wall time in the opt-in timing section.
+type jsonTiming struct {
+	ID        string  `json:"id"`
+	Seed      int64   `json:"seed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // WriteJSON writes the campaign's aggregate results as one indented
 // JSON document: the grid shape, the self-check totals, and the
 // per-experiment metric aggregates. Like RenderSummary, the output
 // contains no wall-clock data and is byte-identical for any worker
 // count.
 func (r *Result) WriteJSON(w io.Writer) error {
+	return r.writeJSON(w, false)
+}
+
+// WriteJSONWithTimings is WriteJSON plus a "timings" section carrying
+// every cell's wall time in grid order. The section is opt-in because
+// it breaks the byte-identity the plain document guarantees.
+func (r *Result) WriteJSONWithTimings(w io.Writer) error {
+	return r.writeJSON(w, true)
+}
+
+func (r *Result) writeJSON(w io.Writer, timings bool) error {
 	doc := struct {
 		Experiments []string      `json:"experiments"`
 		Seeds       []int64       `json:"seeds"`
@@ -111,6 +171,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Rechecked   int           `json:"rechecked"`
 		Divergences int           `json:"divergences"`
 		Summaries   []jsonSummary `json:"summaries"`
+		Timings     []jsonTiming  `json:"timings,omitempty"`
 	}{
 		Experiments: r.IDs,
 		Seeds:       r.Seeds,
@@ -128,6 +189,15 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			})
 		}
 		doc.Summaries = append(doc.Summaries, js)
+	}
+	if timings {
+		for i := range r.Cells {
+			c := &r.Cells[i]
+			doc.Timings = append(doc.Timings, jsonTiming{
+				ID: c.ID, Seed: c.Seed,
+				ElapsedMS: float64(c.Elapsed) / float64(time.Millisecond),
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -119,15 +119,26 @@ func RunAblateSTS(rc *RunContext) (string, error) {
 	const trials = 30
 	tb := rc.Table("ablation — STS length vs ghost-peak distance reduction (naive receiver)",
 		"pulses", "reduction-success", "secure-receiver-success")
+	// Both sessions persist across the sweep (only the varying fields are
+	// mutated per trial), so their scratch arenas and STS derivations are
+	// reused; the attacker is stateless.
+	att := &uwb.GhostPeakAttacker{AdvanceSamples: 200, Power: 4}
+	naive := uwb.Session{
+		Key:     key,
+		Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+		Secure:  false, NaiveThreshold: 0.3,
+	}
+	secure := uwb.Session{
+		Key:     key,
+		Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+		Secure:  true, Config: uwb.DefaultSecureConfig(),
+		NaiveThreshold: 0.3,
+	}
 	for _, pulses := range []int{32, 64, 128, 256, 1024} {
 		succNaive, succSecure := 0, 0
+		naive.Pulses, secure.Pulses = pulses, pulses
 		for i := 0; i < trials; i++ {
-			att := &uwb.GhostPeakAttacker{AdvanceSamples: 200, Power: 4}
-			naive := uwb.Session{
-				Key: key, Session: uint32(i), Pulses: pulses,
-				Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
-				Secure:  false, NaiveThreshold: 0.3,
-			}
+			naive.Session = uint32(i)
 			m, err := naive.Measure(att, rng)
 			if err != nil {
 				return "", err
@@ -135,9 +146,7 @@ func RunAblateSTS(rc *RunContext) (string, error) {
 			if m.Accepted && m.ErrorM() < -5 {
 				succNaive++
 			}
-			secure := naive
-			secure.Secure = true
-			secure.Config = uwb.DefaultSecureConfig()
+			secure.Session = uint32(i)
 			m, err = secure.Measure(att, rng)
 			if err != nil {
 				return "", err

@@ -22,38 +22,46 @@ type Experiment struct {
 	Title  string
 	Source string // which paper artefact it reproduces
 	Run    func(rc *RunContext) (string, error)
+	// Cost is a relative wall-time rank (higher = slower) measured on
+	// the reference machine; the campaign pool uses it to dispatch the
+	// long experiments first. It never affects results, only scheduling,
+	// so the values need only be roughly ordered.
+	Cost int
 }
 
 // Experiments returns the full registry in paper order.
 func Experiments() []Experiment {
+	// Cost values are approximate per-run milliseconds measured serially
+	// on the reference machine (seed 42); only their relative order
+	// matters to the scheduler.
 	return []Experiment{
-		{ID: "fig1", Title: "Layered architecture and cross-layer posture", Source: "Fig. 1", Run: RunFig1},
-		{ID: "fig2", Title: "UWB ranging security (HRP / LRP)", Source: "Fig. 2", Run: RunFig2},
-		{ID: "fig3", Title: "Zonal IVN baseline", Source: "Fig. 3", Run: RunFig3},
+		{ID: "fig1", Title: "Layered architecture and cross-layer posture", Source: "Fig. 1", Run: RunFig1, Cost: 1},
+		{ID: "fig2", Title: "UWB ranging security (HRP / LRP)", Source: "Fig. 2", Run: RunFig2, Cost: 56},
+		{ID: "fig3", Title: "Zonal IVN baseline", Source: "Fig. 3", Run: RunFig3, Cost: 1},
 		{ID: "tab1", Title: "In-vehicle security protocol matrix", Source: "Table I", Run: RunTable1},
-		{ID: "fig4", Title: "Scenario S1: SECOC + MACsec", Source: "Fig. 4", Run: RunFig4},
-		{ID: "fig5", Title: "Scenario S2: MACsec end-to-end vs point-to-point", Source: "Fig. 5", Run: RunFig5},
-		{ID: "fig6", Title: "Scenario S3: CANAL with end-to-end MACsec", Source: "Fig. 6", Run: RunFig6},
-		{ID: "fig7", Title: "SDV trust relations and reconfiguration", Source: "Fig. 7", Run: RunFig7},
-		{ID: "fig8", Title: "Telemetry-cloud kill chain", Source: "Fig. 8", Run: RunFig8},
-		{ID: "exp-stealth", Title: "Exfiltration stealth vs cloud monitoring", Source: "§V-B", Run: RunExpStealth},
-		{ID: "fig9", Title: "MaaS system-of-systems analysis", Source: "Fig. 9", Run: RunFig9},
-		{ID: "exp-ca", Title: "Collision avoidance under sensor attack", Source: "§II-B", Run: RunExpCA},
+		{ID: "fig4", Title: "Scenario S1: SECOC + MACsec", Source: "Fig. 4", Run: RunFig4, Cost: 2},
+		{ID: "fig5", Title: "Scenario S2: MACsec end-to-end vs point-to-point", Source: "Fig. 5", Run: RunFig5, Cost: 2},
+		{ID: "fig6", Title: "Scenario S3: CANAL with end-to-end MACsec", Source: "Fig. 6", Run: RunFig6, Cost: 11},
+		{ID: "fig7", Title: "SDV trust relations and reconfiguration", Source: "Fig. 7", Run: RunFig7, Cost: 3},
+		{ID: "fig8", Title: "Telemetry-cloud kill chain", Source: "Fig. 8", Run: RunFig8, Cost: 32},
+		{ID: "exp-stealth", Title: "Exfiltration stealth vs cloud monitoring", Source: "§V-B", Run: RunExpStealth, Cost: 13},
+		{ID: "fig9", Title: "MaaS system-of-systems analysis", Source: "Fig. 9", Run: RunFig9, Cost: 31},
+		{ID: "exp-ca", Title: "Collision avoidance under sensor attack", Source: "§II-B", Run: RunExpCA, Cost: 1100},
 		{ID: "exp-collab", Title: "Collaborative perception & competition", Source: "§VII", Run: RunExpCollab},
-		{ID: "exp-ids", Title: "Intrusion detection and response", Source: "§VIII", Run: RunExpIDS},
+		{ID: "exp-ids", Title: "Intrusion detection and response", Source: "§VIII", Run: RunExpIDS, Cost: 1},
 		{ID: "exp-access", Title: "Owner-controlled data access (secret sharing)", Source: "§VIII ref[54]", Run: RunExpAccess},
 		{ID: "exp-ptp", Title: "Time delay attack vs PTPsec", Source: "§VIII ref[53]", Run: RunExpPTP},
-		{ID: "exp-v2x", Title: "Authenticated V2X with pseudonym privacy", Source: "§VII-B", Run: RunExpV2X},
-		{ID: "exp-ota", Title: "OTA update pipeline security", Source: "§IV-A", Run: RunExpOTA},
-		{ID: "exp-vehicle", Title: "Integrated full-vehicle network run", Source: "Fig. 3 (integrated)", Run: RunExpVehicle},
+		{ID: "exp-v2x", Title: "Authenticated V2X with pseudonym privacy", Source: "§VII-B", Run: RunExpV2X, Cost: 3},
+		{ID: "exp-ota", Title: "OTA update pipeline security", Source: "§IV-A", Run: RunExpOTA, Cost: 1},
+		{ID: "exp-vehicle", Title: "Integrated full-vehicle network run", Source: "Fig. 3 (integrated)", Run: RunExpVehicle, Cost: 2},
 		{ID: "exp-zc", Title: "Compromised zone controller capabilities", Source: "§III-A", Run: RunExpZCCompromise},
 		{ID: "exp-tara", Title: "ISO/SAE 21434-style risk assessment", Source: "§VI", Run: RunExpTARA},
-		{ID: "ablate-mac", Title: "Ablation: SECOC MAC truncation", Source: "design", Run: RunAblateMAC},
-		{ID: "ablate-fv", Title: "Ablation: freshness window vs loss", Source: "design", Run: RunAblateFV},
-		{ID: "ablate-sts", Title: "Ablation: STS length vs ghost peak", Source: "design", Run: RunAblateSTS},
+		{ID: "ablate-mac", Title: "Ablation: SECOC MAC truncation", Source: "design", Run: RunAblateMAC, Cost: 39},
+		{ID: "ablate-fv", Title: "Ablation: freshness window vs loss", Source: "design", Run: RunAblateFV, Cost: 1},
+		{ID: "ablate-sts", Title: "Ablation: STS length vs ghost peak", Source: "design", Run: RunAblateSTS, Cost: 61},
 		{ID: "ablate-canal", Title: "Ablation: CANAL segment size", Source: "design", Run: RunAblateCANAL},
-		{ID: "ablate-k", Title: "Ablation: redundancy k vs insider", Source: "design", Run: RunAblateRedundancy},
-		{ID: "ablate-ids", Title: "Ablation: sender-ID match radius", Source: "design", Run: RunAblateIDSThreshold},
+		{ID: "ablate-k", Title: "Ablation: redundancy k vs insider", Source: "design", Run: RunAblateRedundancy, Cost: 1},
+		{ID: "ablate-ids", Title: "Ablation: sender-ID match radius", Source: "design", Run: RunAblateIDSThreshold, Cost: 6},
 		{ID: "ablate-scale", Title: "Ablation: scenario costs vs endpoints per zone", Source: "design", Run: RunAblateScale},
 	}
 }
@@ -133,15 +141,19 @@ func RunFig2(rc *RunContext) (string, error) {
 	tb := rc.Table("Fig. 2 — UWB ranging modes under attack",
 		"mode", "receiver", "attack", "accepted", "dist-manipulated", "mean-err-m")
 
+	// One session reused across all sweeps: only the fields that vary per
+	// trial are mutated, so the scratch arena persists.
+	s := uwb.Session{
+		Key: key, Pulses: 256,
+		Channel:        uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+		Config:         uwb.DefaultSecureConfig(),
+		NaiveThreshold: 0.3,
+	}
 	hrp := func(secure bool, att uwb.Attacker, label, attackName string) error {
 		accepted, manipulated, errSum := 0, 0, 0.0
+		s.Secure = secure
 		for i := 0; i < trials; i++ {
-			s := uwb.Session{
-				Key: key, Session: uint32(i), Pulses: 256,
-				Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
-				Secure:  secure, Config: uwb.DefaultSecureConfig(),
-				NaiveThreshold: 0.3,
-			}
+			s.Session = uint32(i)
 			m, err := s.Measure(att, rng)
 			if err != nil {
 				return err

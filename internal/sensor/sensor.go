@@ -87,6 +87,10 @@ type Suite struct {
 	SecureRanging bool
 
 	session uint32
+	// ranging is the persistent UWB session RangeTo reconfigures per
+	// call: keeping it (and its scratch arena) across measurements makes
+	// repeated ranging allocation-free.
+	ranging uwb.Session
 }
 
 // NewSuite returns a sensor suite with automotive-plausible defaults.
@@ -140,12 +144,14 @@ func (s *Suite) RangeTo(w *world.World, targetID string, att *Attack, rng *sim.R
 		return uwb.Measurement{}, fmt.Errorf("sensor: %s has no ranging transponder", targetID)
 	}
 	s.session++
-	sess := uwb.Session{
-		Key: s.RangingKey, Session: s.session, Pulses: 256,
-		Channel: uwb.Channel{DistanceM: world.Dist(ego.Pos, target.Pos), NoiseStd: 0.2},
-		Secure:  s.SecureRanging, Config: uwb.DefaultSecureConfig(),
-		NaiveThreshold: 0.4,
-	}
+	sess := &s.ranging
+	sess.Key = s.RangingKey
+	sess.Session = s.session
+	sess.Pulses = 256
+	sess.Channel = uwb.Channel{DistanceM: world.Dist(ego.Pos, target.Pos), NoiseStd: 0.2}
+	sess.Secure = s.SecureRanging
+	sess.Config = uwb.DefaultSecureConfig()
+	sess.NaiveThreshold = 0.4
 	var attacker uwb.Attacker
 	if att != nil && att.EnlargeM > 0 {
 		attacker = &uwb.JamReplayAttacker{

@@ -166,15 +166,19 @@ func (k *Kernel) Stop() { k.stopped = true }
 
 // Run processes events in timestamp order until the queue is empty, the
 // horizon is exceeded, or Stop is called. A horizon of 0 means no bound.
+// Events beyond the horizon stay queued, so a later Run with a larger
+// horizon still fires them.
 func (k *Kernel) Run(horizon Time) error {
 	k.stopped = false
 	for len(k.queue) > 0 && !k.stopped {
-		e := heap.Pop(&k.queue).(*Event)
-		e.idx = -1
-		if horizon > 0 && e.At > horizon {
+		// Peek before popping: an event past the horizon must remain
+		// pending, not be silently dropped.
+		if horizon > 0 && k.queue[0].At > horizon {
 			k.now = horizon
 			return nil
 		}
+		e := heap.Pop(&k.queue).(*Event)
+		e.idx = -1
 		k.now = e.At
 		e.Run(k)
 		k.handled++

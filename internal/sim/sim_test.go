@@ -101,6 +101,30 @@ func TestKernelHorizonStopsEarly(t *testing.T) {
 	}
 }
 
+func TestKernelHorizonKeepsEventPending(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(1000, "late", func(*Kernel) { fired = true })
+	if err := k.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("event past horizon fired early")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after bounded Run, want 1 (event must stay queued)", k.Pending())
+	}
+	if err := k.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event dropped by earlier bounded Run; it must fire once the horizon allows")
+	}
+	if k.Now() != 1000 {
+		t.Errorf("Now = %v, want 1000", k.Now())
+	}
+}
+
 func TestKernelStop(t *testing.T) {
 	k := NewKernel(1)
 	count := 0

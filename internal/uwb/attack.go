@@ -123,7 +123,11 @@ type Measurement struct {
 func (m Measurement) ErrorM() float64 { return m.MeasuredDistanceM - m.TrueDistanceM }
 
 // Session bundles the parameters of a ranging observation so experiments
-// can sweep them.
+// can sweep them. A Session owns a scratch arena that Measure reuses
+// across calls, so sweeps that mutate the public fields between
+// measurements (fresh session counters, different pulse counts) run
+// allocation-free after the first observation. A Session must not be
+// used from multiple goroutines at once.
 type Session struct {
 	Key     []byte // STS key shared by the legitimate pair
 	Session uint32 // STS session counter (fresh per measurement)
@@ -133,19 +137,26 @@ type Session struct {
 	Config  SecureConfig // used when Secure
 	// NaiveThreshold is the first-path threshold of the naive receiver.
 	NaiveThreshold float64
+
+	scr *scratch
 }
 
 // Measure runs one observation: derive the STS, transmit it through the
 // channel, let the attacker (nil for benign) tamper with the air, then
 // estimate ToA with the configured receiver.
 func (s *Session) Measure(att Attacker, rng *sim.RNG) (Measurement, error) {
-	sts, err := NewSTS(s.Key, s.Session, s.Pulses)
+	if s.scr == nil {
+		s.scr = &scratch{}
+	}
+	sts, err := s.scr.stsFor(s.Key, s.Session, s.Pulses)
 	if err != nil {
 		return Measurement{}, err
 	}
-	tx := sts.Waveform()
+	tx := sts.waveformInto(s.scr.waveform)
+	s.scr.waveform = tx
 	obsLen := s.Channel.DelaySamples() + len(tx) + 512
-	rx := s.Channel.Propagate(tx, obsLen, rng)
+	rx := s.Channel.propagateInto(s.scr.rx, tx, obsLen, rng)
+	s.scr.rx = rx
 	legitToA := s.Channel.DelaySamples()
 	if att != nil {
 		rx = att.Inject(rx, tx, legitToA, rng)
@@ -162,13 +173,13 @@ func (s *Session) Measure(att Attacker, rng *sim.RNG) (Measurement, error) {
 				cfg.ExpectedNoiseStd = 0.05
 			}
 		}
-		res = SecureToA(rx, sts, cfg)
+		res = secureToA(s.scr, rx, sts, cfg)
 	} else {
 		th := s.NaiveThreshold
 		if th == 0 {
 			th = 0.4
 		}
-		res = NaiveToA(rx, sts, th)
+		res = naiveToA(s.scr, rx, sts, th)
 	}
 	return Measurement{
 		TrueDistanceM:     s.Channel.DistanceM,

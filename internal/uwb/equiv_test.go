@@ -1,0 +1,222 @@
+package uwb
+
+// Equivalence tests pinning the optimised PHY hot paths bit-for-bit
+// against the reference implementations they replaced. The determinism
+// contract of the campaign harness (identical outputs for identical
+// seeds, byte-identical golden reports) only holds if these pass with
+// exact float equality — tolerance-based comparison would hide the very
+// regressions they exist to catch.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"autosec/internal/sim"
+)
+
+// randomSignal fills a signal with a mix of pulses and noise so the
+// correlator sees both sparse and dense energy.
+func randomSignal(rng *sim.RNG, n int) Signal {
+	s := make(Signal, n)
+	for i := range s {
+		switch rng.Intn(4) {
+		case 0:
+			s[i] = rng.NormFloat64()
+		case 1:
+			s[i] = float64(rng.Intn(5) - 2)
+		case 2:
+			s[i] = rng.Float64()*2 - 1
+		default:
+			// leave zero: runs of silence exercise sign handling
+		}
+	}
+	return s
+}
+
+func equalBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCorrelateMatchesReference drives the optimised correlator across
+// pulse counts that hit every code path — power-of-two (reciprocal
+// multiply), odd (packed-pair epilogue), non-power-of-two (divide), and
+// tiny — over random signals, with and without a scratch arena. The
+// scratch is reused across iterations of differing sizes so stale
+// buffer contents would surface as mismatches.
+func TestCorrelateMatchesReference(t *testing.T) {
+	rng := sim.NewRNG(1001)
+	scr := &scratch{}
+	pulseCounts := []int{1, 2, 3, 5, 7, 8, 13, 16, 31, 64, 100, 255, 256}
+	for iter := 0; iter < 40; iter++ {
+		pulses := pulseCounts[rng.Intn(len(pulseCounts))]
+		sts, err := NewSTS([]byte("0123456789abcdef"), uint32(iter), pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Observation lengths from shorter-than-template (nil result)
+		// through exact fit to generous slack, plus non-multiples of
+		// ChipSpacing so every residue count differs.
+		span := (pulses - 1) * ChipSpacing
+		obsLen := span + rng.Intn(3*ChipSpacing+5) - ChipSpacing
+		if obsLen < 0 {
+			obsLen = 0
+		}
+		rx := randomSignal(rng, obsLen)
+
+		want := correlateRef(rx, sts)
+		if got := Correlate(rx, sts); !equalBits(got, want) {
+			t.Fatalf("pulses=%d obsLen=%d: scratchless Correlate diverged from reference", pulses, obsLen)
+		}
+		if got := correlateScratch(scr, rx, sts); !equalBits(got, want) {
+			t.Fatalf("pulses=%d obsLen=%d: scratch Correlate diverged from reference", pulses, obsLen)
+		}
+	}
+}
+
+// TestCorrelateHandConstructedSTS covers the lazy template-derivation
+// path for STS values built directly from a polarity slice (as the LRP
+// preamble and several tests do) rather than via NewSTS.
+func TestCorrelateHandConstructedSTS(t *testing.T) {
+	rng := sim.NewRNG(1002)
+	for _, pulses := range []int{1, 3, 8, 17} {
+		pol := make([]int8, pulses)
+		for i := range pol {
+			pol[i] = int8(rng.Intn(2)*2 - 1)
+		}
+		sts := &STS{Polarity: pol}
+		rx := randomSignal(rng, (pulses-1)*ChipSpacing+20)
+		if !equalBits(Correlate(rx, sts), correlateRef(rx, sts)) {
+			t.Fatalf("pulses=%d: hand-constructed STS diverged from reference", pulses)
+		}
+	}
+}
+
+// TestPropagateMatchesReference pins the buffer-reusing channel path to
+// the allocating reference: same seed, same channel, bit-identical
+// observation — including when the destination buffer carries stale
+// contents from a previous, larger propagation.
+func TestPropagateMatchesReference(t *testing.T) {
+	seeds := sim.NewRNG(2001)
+	var dst Signal
+	for iter := 0; iter < 30; iter++ {
+		ch := Channel{
+			DistanceM: seeds.Float64() * 80,
+			NoiseStd:  []float64{0, 0.05, 0.2, 1.5}[seeds.Intn(4)],
+		}
+		if seeds.Bool(0.5) {
+			ch.LoSGain = 0.2 + seeds.Float64()
+		}
+		for t := seeds.Intn(3); t > 0; t-- {
+			ch.Taps = append(ch.Taps, Tap{
+				DelaySamples: seeds.Intn(12) - 2,
+				Gain:         seeds.Float64() - 0.5,
+			})
+		}
+		tx := randomSignal(seeds, 1+seeds.Intn(200))
+		obsLen := len(tx) + seeds.Intn(300)
+		seed := int64(3000 + iter)
+
+		want := ch.propagateRef(tx, obsLen, sim.NewRNG(seed))
+		got := ch.propagateInto(dst, tx, obsLen, sim.NewRNG(seed))
+		if !equalBits(got, want) {
+			t.Fatalf("iter %d: propagateInto diverged from reference (obsLen=%d taps=%d noise=%v)",
+				iter, obsLen, len(ch.Taps), ch.NoiseStd)
+		}
+		dst = got // reuse, often shrinking, next iteration
+	}
+}
+
+// TestScratchSTSMatchesNewSTS pins the in-place session-scratch STS
+// derivation (cached AES schedule, manual CTR keystream, reused backing
+// arrays) to NewSTS across keys, sessions, and pulse counts, including
+// cache-hit repeats and key changes mid-sequence.
+func TestScratchSTSMatchesNewSTS(t *testing.T) {
+	keys := [][]byte{
+		[]byte("0123456789abcdef"),
+		[]byte("fedcba9876543210"),
+		bytes.Repeat([]byte{0x5a}, 16),
+	}
+	scr := &scratch{}
+	rng := sim.NewRNG(3001)
+	for iter := 0; iter < 60; iter++ {
+		key := keys[rng.Intn(len(keys))]
+		session := uint32(rng.Intn(40))
+		pulses := []int{1, 7, 32, 129, 256, 300}[rng.Intn(6)]
+
+		want, err := NewSTS(key, session, pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := scr.stsFor(key, session, pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(int8Bytes(got.Polarity), int8Bytes(want.Polarity)) {
+			t.Fatalf("iter %d: stsFor(key=%q, session=%d, pulses=%d) diverged from NewSTS",
+				iter, key, session, pulses)
+		}
+		if !equalBits(got.Template(), want.Template()) {
+			t.Fatalf("iter %d: cached template diverged", iter)
+		}
+		// Cache hit must return the same derivation.
+		again, err := scr.stsFor(key, session, pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != got {
+			t.Fatalf("iter %d: repeated stsFor did not hit the cache", iter)
+		}
+	}
+	if _, err := scr.stsFor(keys[0], 1, 0); err == nil {
+		t.Error("stsFor accepted zero pulses")
+	}
+	if _, err := scr.stsFor([]byte("short"), 1, 8); err == nil {
+		t.Error("stsFor accepted an invalid key")
+	}
+}
+
+func int8Bytes(p []int8) []byte {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+// FuzzCorrelateEquivalence lets the fuzzer hunt for a (signal, template
+// length, offset) combination where the optimised correlator rounds
+// differently from the reference. Any mismatch is a determinism bug.
+func FuzzCorrelateEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(8), uint16(80))
+	f.Add(int64(2), uint16(1), uint16(0))
+	f.Add(int64(3), uint16(255), uint16(2100))
+	f.Add(int64(4), uint16(256), uint16(2048))
+	f.Add(int64(5), uint16(13), uint16(97))
+	f.Fuzz(func(t *testing.T, seed int64, pulses16, obsLen16 uint16) {
+		pulses := int(pulses16)%512 + 1
+		obsLen := int(obsLen16) % 4100
+		rng := sim.NewRNG(seed)
+		sts, err := NewSTS([]byte("0123456789abcdef"), uint32(seed), pulses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx := randomSignal(rng, obsLen)
+		want := correlateRef(rx, sts)
+		if got := Correlate(rx, sts); !equalBits(got, want) {
+			t.Fatalf("pulses=%d obsLen=%d seed=%d: optimised correlator diverged", pulses, obsLen, seed)
+		}
+		scr := &scratch{}
+		if got := correlateScratch(scr, rx, sts); !equalBits(got, want) {
+			t.Fatalf("pulses=%d obsLen=%d seed=%d: scratch correlator diverged", pulses, obsLen, seed)
+		}
+	})
+}

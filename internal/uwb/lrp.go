@@ -3,6 +3,7 @@ package uwb
 import (
 	"crypto/sha256"
 	"fmt"
+	"sync"
 
 	"autosec/internal/sim"
 )
@@ -25,18 +26,32 @@ const LRPPreambleLen = 32
 // periodic so its autocorrelation sidelobes are low: a periodic pattern
 // would let the receiver commit to a shifted replica and misalign the
 // payload decode.
+//
+// The preamble is a process-wide constant, so it is derived once; the
+// template is built eagerly inside the once so the shared STS is
+// read-only afterwards (concurrent experiment runs correlate against
+// it).
 func lrpPreamble() *STS {
-	digest := sha256.Sum256([]byte("autosec/uwb lrp preamble v1"))
-	pol := make([]int8, LRPPreambleLen)
-	for i := range pol {
-		if digest[i/8]>>(uint(i)%8)&1 == 1 {
-			pol[i] = 1
-		} else {
-			pol[i] = -1
+	lrpOnce.Do(func() {
+		digest := sha256.Sum256([]byte("autosec/uwb lrp preamble v1"))
+		pol := make([]int8, LRPPreambleLen)
+		for i := range pol {
+			if digest[i/8]>>(uint(i)%8)&1 == 1 {
+				pol[i] = 1
+			} else {
+				pol[i] = -1
+			}
 		}
-	}
-	return &STS{Polarity: pol}
+		lrpPre = &STS{Polarity: pol}
+		lrpPre.Template()
+	})
+	return lrpPre
 }
+
+var (
+	lrpOnce sync.Once
+	lrpPre  *STS
+)
 
 // EncodeLRP renders an LRP frame: the preamble followed by one pulse per
 // payload bit (bit 1 → +1, bit 0 → −1), each on the chip grid.

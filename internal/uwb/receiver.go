@@ -3,13 +3,171 @@ package uwb
 import (
 	"fmt"
 	"math"
+	"sync"
+	"unsafe"
 )
+
+// decPool recycles decimation buffers for Correlate calls that arrive
+// without a scratch arena (one-shot callers, concurrent experiment
+// cells). Buffers are length-adjusted by the borrower.
+var decPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // Correlate computes the normalized cross-correlation of the received
 // signal with the STS template at every candidate offset. Entry k is the
 // correlation assuming the first STS pulse arrived at sample k, divided
 // by the number of pulses, so a clean unit-gain arrival scores ~1.0.
 func Correlate(rx Signal, sts *STS) []float64 {
+	return correlateScratch(nil, rx, sts)
+}
+
+// correlateScratch is Correlate with an optional buffer arena. The
+// computation is restructured for the cache and the pipeline while
+// staying bit-identical to correlateRef:
+//
+//   - rx is decimated per residue class mod ChipSpacing, turning the
+//     stride-8 tap gather into sequential loads, and stored interleaved
+//     as (+v, −v) pairs so the ±1 template multiply becomes an indexed
+//     add (negation is exact, so s += (−v) equals s += (−1)·v bit for
+//     bit);
+//   - within each residue, six adjacent output offsets accumulate
+//     together — six independent add chains hide FP latency, and each
+//     template index loaded once serves six outputs.
+//
+// Each output's summation order — template index ascending, then one
+// division — is exactly the reference order, so every float rounds
+// identically.
+func correlateScratch(scr *scratch, rx Signal, sts *STS) []float64 {
+	// n is taken from the template-index sequence (same length as
+	// Polarity) so the window slices below share a provable length
+	// relation with it.
+	tidx := sts.templateIdx()
+	tpack := sts.templatePack()
+	n := len(tidx)
+	maxOffset := len(rx) - (n-1)*ChipSpacing
+	if maxOffset <= 0 {
+		return nil
+	}
+	stride := (len(rx) + ChipSpacing - 1) / ChipSpacing
+	var out, dec []float64
+	var pooled *[]float64
+	if scr != nil {
+		scr.corr = floatsFor(scr.corr, maxOffset)
+		scr.dec = floatsFor(scr.dec, 2*stride)
+		out, dec = scr.corr, scr.dec
+	} else {
+		// Only out escapes (it is the return value); the decimation
+		// buffer is scratch, so scratchless callers borrow it from a
+		// pool instead of paying an allocation plus GC churn per call.
+		out = make([]float64, maxOffset)
+		pooled = decPool.Get().(*[]float64)
+		*pooled = floatsFor(*pooled, 2*stride)
+		dec = *pooled
+		defer decPool.Put(pooled)
+	}
+	nf := float64(n)
+	// When n is a power of two its reciprocal is exact, and scaling by
+	// it rounds identically to dividing by nf (both produce the same
+	// real value), so the cheaper multiply stays bit-identical. For any
+	// other n the code divides, as the reference does.
+	inv, haveInv := 0.0, false
+	if n&(n-1) == 0 {
+		inv, haveInv = 1.0/nf, true
+	}
+	for r := 0; r < ChipSpacing && r < maxOffset; r++ {
+		// Samples with index ≡ r (mod ChipSpacing), in order, stored as
+		// (+v, −v) pairs: z[2q] = rx[r+q·ChipSpacing], z[2q+1] = −z[2q].
+		// One residue is live at a time, so all eight share one buffer
+		// (it stays hot in L1).
+		cnt := (len(rx) - r + ChipSpacing - 1) / ChipSpacing
+		z := dec[:2*cnt]
+		q := 0
+		for j := r; j < len(rx); j += ChipSpacing {
+			v := rx[j]
+			z[q] = v
+			z[q+1] = -v
+			q += 2
+		}
+		// Outputs k = r, r+ChipSpacing, … are sliding ±template sums
+		// over the even entries of z; tidx picks +v or −v per pulse.
+		nq := (maxOffset - r + ChipSpacing - 1) / ChipSpacing
+		q = 0
+		for ; q+6 <= nq; q += 6 {
+			// Window c of this block starts at z[2(q+c)] and reads
+			// offsets tidx[i] ∈ [0, 2n−1] into it; the furthest byte
+			// touched is 8·(2(q+5) + 2n−1) < 8·2·cnt because the last
+			// output's last tap lies inside rx (the maxOffset bound), so
+			// every access below stays inside z. Direct pointer loads
+			// let each chain be exactly one indexed load feeding one
+			// add — the bounds-check-free form of s += z[2(q+c)+ti]
+			// that the range prover cannot reach for data-dependent
+			// indices.
+			p := unsafe.Pointer(&z[2*q])
+			var s0, s1, s2, s3, s4, s5 float64
+			// Two template steps per iteration from one packed 64-bit
+			// load; each chain still adds its terms in ascending
+			// template order, so rounding is unchanged.
+			for _, pk := range tpack {
+				offA := uintptr(uint32(pk))
+				offB := uintptr(pk >> 32)
+				s0 += *(*float64)(unsafe.Add(p, offA))
+				s0 += *(*float64)(unsafe.Add(p, offB))
+				s1 += *(*float64)(unsafe.Add(p, offA+16))
+				s1 += *(*float64)(unsafe.Add(p, offB+16))
+				s2 += *(*float64)(unsafe.Add(p, offA+32))
+				s2 += *(*float64)(unsafe.Add(p, offB+32))
+				s3 += *(*float64)(unsafe.Add(p, offA+48))
+				s3 += *(*float64)(unsafe.Add(p, offB+48))
+				s4 += *(*float64)(unsafe.Add(p, offA+64))
+				s4 += *(*float64)(unsafe.Add(p, offB+64))
+				s5 += *(*float64)(unsafe.Add(p, offA+80))
+				s5 += *(*float64)(unsafe.Add(p, offB+80))
+			}
+			if n&1 != 0 {
+				off := uintptr(tidx[n-1])
+				s0 += *(*float64)(unsafe.Add(p, off))
+				s1 += *(*float64)(unsafe.Add(p, off+16))
+				s2 += *(*float64)(unsafe.Add(p, off+32))
+				s3 += *(*float64)(unsafe.Add(p, off+48))
+				s4 += *(*float64)(unsafe.Add(p, off+64))
+				s5 += *(*float64)(unsafe.Add(p, off+80))
+			}
+			base := r + q*ChipSpacing
+			if haveInv {
+				out[base] = s0 * inv
+				out[base+ChipSpacing] = s1 * inv
+				out[base+2*ChipSpacing] = s2 * inv
+				out[base+3*ChipSpacing] = s3 * inv
+				out[base+4*ChipSpacing] = s4 * inv
+				out[base+5*ChipSpacing] = s5 * inv
+			} else {
+				out[base] = s0 / nf
+				out[base+ChipSpacing] = s1 / nf
+				out[base+2*ChipSpacing] = s2 / nf
+				out[base+3*ChipSpacing] = s3 / nf
+				out[base+4*ChipSpacing] = s4 / nf
+				out[base+5*ChipSpacing] = s5 / nf
+			}
+		}
+		for ; q < nq; q++ {
+			p := unsafe.Pointer(&z[2*q])
+			var sum float64
+			for _, ti := range tidx {
+				sum += *(*float64)(unsafe.Add(p, uintptr(ti)))
+			}
+			if haveInv {
+				out[r+q*ChipSpacing] = sum * inv
+			} else {
+				out[r+q*ChipSpacing] = sum / nf
+			}
+		}
+	}
+	return out
+}
+
+// correlateRef is the original correlator, kept verbatim as the
+// reference implementation the property tests pin correlateScratch
+// against bit-for-bit.
+func correlateRef(rx Signal, sts *STS) []float64 {
 	n := len(sts.Polarity)
 	maxOffset := len(rx) - (n-1)*ChipSpacing
 	if maxOffset <= 0 {
@@ -46,7 +204,11 @@ type ToAResult struct {
 // modest ghost peak in front of the legitimate arrival shortens the
 // measured distance. It performs no validity check on the result.
 func NaiveToA(rx Signal, sts *STS, threshold float64) ToAResult {
-	corr := Correlate(rx, sts)
+	return naiveToA(nil, rx, sts, threshold)
+}
+
+func naiveToA(scr *scratch, rx Signal, sts *STS, threshold float64) ToAResult {
+	corr := correlateScratch(scr, rx, sts)
 	if len(corr) == 0 {
 		return ToAResult{Sample: -1}
 	}
@@ -112,7 +274,11 @@ func DefaultSecureConfig() SecureConfig {
 // optional early-energy test against enlargement. It returns the chosen
 // sample plus whether the measurement should be trusted.
 func SecureToA(rx Signal, sts *STS, cfg SecureConfig) ToAResult {
-	corr := Correlate(rx, sts)
+	return secureToA(nil, rx, sts, cfg)
+}
+
+func secureToA(scr *scratch, rx Signal, sts *STS, cfg SecureConfig) ToAResult {
+	corr := correlateScratch(scr, rx, sts)
 	if len(corr) == 0 {
 		return ToAResult{Sample: -1, Reason: "observation too short"}
 	}
@@ -191,15 +357,28 @@ func Consistency(rx Signal, sts *STS, toa int) float64 {
 		return 0
 	}
 	agree := 0
-	for i, p := range sts.Polarity {
-		idx := toa + i*ChipSpacing
+	idx := toa
+	for _, p := range sts.Template() {
+		// Pulse positions only grow, so the first out-of-range pulse
+		// ends the scan; the remainder count as disagreement, exactly
+		// as the per-pulse bounds check did.
 		if idx >= len(rx) {
-			continue
+			break
 		}
 		v := rx[idx]
-		if (v > 0 && p > 0) || (v < 0 && p < 0) {
-			agree++
+		// v·p > 0 holds exactly when the signs agree and v is neither
+		// zero nor NaN (p is exactly ±1, so the product cannot round),
+		// i.e. the same predicate as (v>0 && p>0) || (v<0 && p<0) — but
+		// it compiles to a single ordered compare feeding a flag-set
+		// instead of two data-dependent branches, which matters because
+		// sample signs are a coin flip at non-arrival offsets and defeat
+		// the branch predictor.
+		inc := 0
+		if v*p > 0 {
+			inc = 1
 		}
+		agree += inc
+		idx += ChipSpacing
 	}
 	return float64(agree) / float64(len(sts.Polarity))
 }

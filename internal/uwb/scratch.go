@@ -1,0 +1,81 @@
+package uwb
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+// scratch is a per-Session buffer arena: the waveform, observation,
+// decimation, and correlation buffers a ranging measurement needs, plus
+// a one-entry STS cache. Reusing it across the hundreds of measurements
+// an experiment sweep performs removes every steady-state allocation
+// from the Measure hot path without changing a single output bit — all
+// buffers are fully (re)initialised before use.
+//
+// A scratch (and therefore a Session) must not be shared between
+// concurrently running measurements; experiments run sessions
+// sequentially within one simulation.
+type scratch struct {
+	waveform Signal
+	rx       Signal
+	corr     []float64
+	dec      []float64
+
+	// One-entry STS cache keyed by (key, session, pulses): repeated
+	// measurements of an unchanged session skip the AES-CTR derivation.
+	// The expanded AES cipher is cached separately per key, so sweeps
+	// that advance the session counter still skip the key expansion.
+	sts        *STS
+	stsKey     []byte
+	stsSession uint32
+	aesBlock   cipher.Block
+	ksBuf      []byte
+}
+
+// stsFor returns the STS for (key, session, pulses), reusing the cached
+// derivation when the parameters are unchanged since the last call and
+// the cached key schedule whenever the key is unchanged.
+func (sc *scratch) stsFor(key []byte, session uint32, pulses int) (*STS, error) {
+	sameKey := bytes.Equal(sc.stsKey, key)
+	if sc.sts != nil && sc.stsSession == session &&
+		len(sc.sts.Polarity) == pulses && sameKey {
+		return sc.sts, nil
+	}
+	if pulses <= 0 {
+		return nil, fmt.Errorf("uwb: sts length %d", pulses)
+	}
+	if !sameKey || sc.aesBlock == nil {
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, fmt.Errorf("uwb: sts key: %w", err)
+		}
+		sc.aesBlock = block
+		sc.stsKey = append(sc.stsKey[:0], key...)
+	}
+	// Derive in place: the scratch owns its STS (nothing else retains
+	// it), so the keystream buffer and every derived array are reused.
+	need := (pulses + 7) / 8
+	if cap(sc.ksBuf) < need {
+		sc.ksBuf = make([]byte, need)
+	}
+	sc.ksBuf = sc.ksBuf[:need]
+	ctrKeystream(sc.aesBlock, session, sc.ksBuf)
+	if sc.sts == nil {
+		sc.sts = &STS{}
+	}
+	sc.sts.setFromKeystream(sc.ksBuf, pulses)
+	sc.stsSession = session
+	return sc.sts, nil
+}
+
+// floatsFor returns a length-n slice reusing buf's backing array when
+// large enough. Contents are unspecified; callers overwrite every
+// element they read.
+func floatsFor(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

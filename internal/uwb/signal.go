@@ -80,6 +80,67 @@ func (s Signal) Energy(from, to int) float64 {
 // attacker without the key cannot predict pulse polarities in advance.
 type STS struct {
 	Polarity []int8 // +1 or -1 per pulse
+
+	// template caches Polarity as float64 so the correlation inner loop
+	// never converts int8 per element; templIdx caches it as byte
+	// offsets into a (+v,−v) interleaved float64 signal (16i for +1,
+	// 16i+8 for −1), which lets the correlator replace each multiply
+	// with a plain offset-addressed add; templPack carries those offsets
+	// packed in pairs so one 64-bit load feeds two template steps.
+	// NewSTS builds all of them eagerly; for hand-constructed STS values
+	// they are filled on first use (that lazy path is not safe for
+	// concurrent first calls).
+	template  []float64
+	templIdx  []int32
+	templPack []uint64
+}
+
+// ensureDerived (re)builds the cached template forms when Polarity has
+// changed length since they were derived.
+func (s *STS) ensureDerived() {
+	if len(s.template) == len(s.Polarity) {
+		return
+	}
+	n := len(s.Polarity)
+	s.template = make([]float64, n)
+	s.templIdx = make([]int32, n)
+	for i, p := range s.Polarity {
+		s.template[i] = float64(p)
+		s.templIdx[i] = int32(16 * i)
+		if p < 0 {
+			s.templIdx[i] += 8
+		}
+	}
+	s.templPack = make([]uint64, n/2)
+	for k := range s.templPack {
+		s.templPack[k] = uint64(uint32(s.templIdx[2*k])) |
+			uint64(uint32(s.templIdx[2*k+1]))<<32
+	}
+}
+
+// Template returns the polarity sequence as ±1.0 float64 values, the
+// form the correlators consume. The slice is cached on the STS and must
+// not be mutated by callers.
+func (s *STS) Template() []float64 {
+	s.ensureDerived()
+	return s.template
+}
+
+// templateIdx returns the polarity sequence encoded as byte offsets
+// into an interleaved (+v, −v) decimated float64 signal: entry i is 16i
+// when pulse i is +1 and 16i+8 when it is −1. Cached alongside
+// Template.
+func (s *STS) templateIdx() []int32 {
+	s.ensureDerived()
+	return s.templIdx
+}
+
+// templatePack returns templateIdx packed two offsets per word (low 32
+// bits first), halving template loads in the correlation inner loop.
+// When the pulse count is odd the final offset is only in templateIdx.
+func (s *STS) templatePack() []uint64 {
+	s.ensureDerived()
+	return s.templPack
 }
 
 // NewSTS derives a length-pulse STS from an AES-128 key and a session
@@ -94,30 +155,89 @@ func NewSTS(key []byte, session uint32, pulses int) (*STS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("uwb: sts key: %w", err)
 	}
-	iv := make([]byte, aes.BlockSize)
-	iv[0] = byte(session >> 24)
-	iv[1] = byte(session >> 16)
-	iv[2] = byte(session >> 8)
-	iv[3] = byte(session)
-	stream := cipher.NewCTR(block, iv)
-	buf := make([]byte, (pulses+7)/8)
-	stream.XORKeyStream(buf, buf)
+	return newSTSFromBlock(block, session, pulses)
+}
 
-	pol := make([]int8, pulses)
-	for i := range pol {
-		if buf[i/8]>>(uint(i)%8)&1 == 1 {
-			pol[i] = 1
-		} else {
-			pol[i] = -1
+// newSTSFromBlock is NewSTS with the AES key schedule already expanded;
+// the session scratch caches the cipher per key so repeated derivations
+// skip the key expansion.
+func newSTSFromBlock(block cipher.Block, session uint32, pulses int) (*STS, error) {
+	if pulses <= 0 {
+		return nil, fmt.Errorf("uwb: sts length %d", pulses)
+	}
+	buf := make([]byte, (pulses+7)/8)
+	ctrKeystream(block, session, buf)
+	sts := &STS{}
+	sts.setFromKeystream(buf, pulses)
+	return sts, nil
+}
+
+// ctrKeystream fills dst with the AES-CTR keystream for the given
+// session counter: byte-identical to cipher.NewCTR over a zero buffer
+// with the session in the IV's first four bytes (the IV is incremented
+// as one big-endian counter, as the stdlib stream does), but without
+// allocating a stream object per derivation.
+func ctrKeystream(block cipher.Block, session uint32, dst []byte) {
+	var ctr, ks [aes.BlockSize]byte
+	ctr[0] = byte(session >> 24)
+	ctr[1] = byte(session >> 16)
+	ctr[2] = byte(session >> 8)
+	ctr[3] = byte(session)
+	for off := 0; off < len(dst); off += aes.BlockSize {
+		block.Encrypt(ks[:], ctr[:])
+		copy(dst[off:], ks[:])
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
 		}
 	}
-	return &STS{Polarity: pol}, nil
+}
+
+// setFromKeystream (re)derives the polarity sequence and every cached
+// template form from a pseudorandom keystream, reusing the existing
+// backing arrays when they are large enough so repeated derivations in
+// a session scratch allocate nothing.
+func (s *STS) setFromKeystream(ks []byte, pulses int) {
+	if cap(s.Polarity) < pulses {
+		s.Polarity = make([]int8, pulses)
+		s.template = make([]float64, pulses)
+		s.templIdx = make([]int32, pulses)
+		s.templPack = make([]uint64, pulses/2)
+	} else {
+		s.Polarity = s.Polarity[:pulses]
+		s.template = s.template[:pulses]
+		s.templIdx = s.templIdx[:pulses]
+		s.templPack = s.templPack[:pulses/2]
+	}
+	for i := range s.Polarity {
+		if ks[i/8]>>(uint(i)%8)&1 == 1 {
+			s.Polarity[i] = 1
+			s.template[i] = 1
+			s.templIdx[i] = int32(16 * i)
+		} else {
+			s.Polarity[i] = -1
+			s.template[i] = -1
+			s.templIdx[i] = int32(16*i + 8)
+		}
+	}
+	for k := range s.templPack {
+		s.templPack[k] = uint64(uint32(s.templIdx[2*k])) |
+			uint64(uint32(s.templIdx[2*k+1]))<<32
+	}
 }
 
 // Waveform renders the STS as a baseband signal: one unit-amplitude
 // pulse of the given polarity every ChipSpacing samples.
 func (s *STS) Waveform() Signal {
-	sig := make(Signal, len(s.Polarity)*ChipSpacing)
+	return s.waveformInto(nil)
+}
+
+// waveformInto renders the waveform into dst when it has the right
+// capacity, allocating only on first use of a scratch buffer.
+func (s *STS) waveformInto(dst Signal) Signal {
+	sig := sliceFor(dst, len(s.Polarity)*ChipSpacing)
 	for i, p := range s.Polarity {
 		sig[i*ChipSpacing] = float64(p)
 	}
@@ -150,6 +270,49 @@ func (c *Channel) DelaySamples() int {
 // observes in a window of length obsLen samples. The RNG supplies the
 // noise so runs are reproducible.
 func (c *Channel) Propagate(tx Signal, obsLen int, rng *sim.RNG) Signal {
+	return c.propagateInto(nil, tx, obsLen, rng)
+}
+
+// propagateInto is Propagate writing into a reusable buffer: dst is
+// grown (or allocated) to obsLen and fully overwritten. The output is
+// bit-identical to propagateRef for any buffer history because the
+// window is zeroed before the taps land and the noise stream is drawn
+// in the same per-sample order.
+func (c *Channel) propagateInto(dst Signal, tx Signal, obsLen int, rng *sim.RNG) Signal {
+	rx := sliceFor(dst, obsLen)
+	gain := c.LoSGain
+	if gain == 0 {
+		gain = 1.0
+	}
+	base := c.DelaySamples()
+	c.place(rx, tx, base, gain)
+	for _, tap := range c.Taps {
+		c.place(rx, tx, base+tap.DelaySamples, tap.Gain)
+	}
+	if c.NoiseStd > 0 {
+		std := c.NoiseStd
+		for i := range rx {
+			rx[i] += std * rng.NormFloat64()
+		}
+	}
+	return rx
+}
+
+// place mixes a delayed, scaled copy of tx into rx, clipping to the
+// observation window.
+func (c *Channel) place(rx, tx Signal, delay int, g float64) {
+	for i, v := range tx {
+		idx := delay + i
+		if idx >= 0 && idx < len(rx) {
+			rx[idx] += g * v
+		}
+	}
+}
+
+// propagateRef is the original, always-allocating channel model, kept
+// verbatim as the reference implementation the property tests pin the
+// optimised path against bit-for-bit.
+func (c *Channel) propagateRef(tx Signal, obsLen int, rng *sim.RNG) Signal {
 	rx := make(Signal, obsLen)
 	gain := c.LoSGain
 	if gain == 0 {
@@ -174,6 +337,19 @@ func (c *Channel) Propagate(tx Signal, obsLen int, rng *sim.RNG) Signal {
 		}
 	}
 	return rx
+}
+
+// sliceFor returns a zeroed slice of length n, reusing buf's backing
+// array when it is large enough.
+func sliceFor(buf Signal, n int) Signal {
+	if cap(buf) < n {
+		return make(Signal, n)
+	}
+	s := buf[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // SamplesToMetres converts a ToA expressed in samples to one-way

@@ -13,24 +13,52 @@ package vcrypto
 
 import (
 	"crypto/aes"
+	"crypto/cipher"
 	"crypto/subtle"
 	"fmt"
+	"sync"
 )
+
+// cmacState is the per-key precomputation of CMAC: the expanded AES key
+// schedule and the RFC 4493 §2.3 subkeys.
+type cmacState struct {
+	block  cipher.Block
+	k1, k2 [16]byte
+}
+
+// cmacCache memoizes cmacState per key. Protocol simulations MAC
+// thousands of frames under a handful of session keys, so the AES key
+// expansion and subkey derivation dominate short-message CMAC when done
+// per call; caching them changes no output bytes. sync.Map suits the
+// read-mostly access from concurrently running experiment cells.
+var cmacCache sync.Map // string(key) -> *cmacState
+
+func cmacStateFor(key []byte) (*cmacState, error) {
+	if st, ok := cmacCache.Load(string(key)); ok {
+		return st.(*cmacState), nil
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("vcrypto: cmac key: %w", err)
+	}
+	st := &cmacState{block: block}
+	var l [16]byte
+	block.Encrypt(l[:], l[:])
+	st.k1 = dbl(l)
+	st.k2 = dbl(st.k1)
+	actual, _ := cmacCache.LoadOrStore(string(key), st)
+	return actual.(*cmacState), nil
+}
 
 // CMAC computes the AES-CMAC (RFC 4493) of msg under a 16-, 24-, or
 // 32-byte AES key and returns the full 16-byte tag.
 func CMAC(key, msg []byte) ([16]byte, error) {
 	var tag [16]byte
-	block, err := aes.NewCipher(key)
+	st, err := cmacStateFor(key)
 	if err != nil {
-		return tag, fmt.Errorf("vcrypto: cmac key: %w", err)
+		return tag, err
 	}
-
-	// Subkey generation (RFC 4493 §2.3).
-	var l [16]byte
-	block.Encrypt(l[:], l[:])
-	k1 := dbl(l)
-	k2 := dbl(k1)
+	block, k1, k2 := st.block, st.k1, st.k2
 
 	n := (len(msg) + 15) / 16 // number of blocks
 	lastComplete := n > 0 && len(msg)%16 == 0

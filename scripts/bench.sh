@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench.sh — run the repo's benchmark suite and record the results as
+# BENCH_<date>.json in the repo root, one JSON object per benchmark with
+# ns/op, B/op, and allocs/op. Checked-in snapshots form the performance
+# trajectory referenced by docs/PERFORMANCE.md.
+#
+# Usage: scripts/bench.sh [go-bench-regexp]
+#   scripts/bench.sh                 # full suite (default -bench=.)
+#   scripts/bench.sh 'UWB|Campaign'  # just the PHY / campaign benchmarks
+#
+# Environment:
+#   BENCHTIME   passed to -benchtime (default 1s)
+#   COUNT       passed to -count     (default 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}"
+out="BENCH_$(date +%F).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench: running -bench=$pattern -benchtime=$benchtime -count=$count" >&2
+go test -run=NONE -bench="$pattern" -benchmem \
+    -benchtime="$benchtime" -count="$count" . | tee "$raw" >&2
+
+# Parse `go test -bench` lines into JSON. Format per line:
+#   BenchmarkName-P   N   X ns/op [ Y MB/s ]  Z B/op   W allocs/op
+awk -v date="$(date +%F)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [", date; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (aop != "") printf ", \"allocs_per_op\": %s", aop
+    printf "}"
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "bench: wrote $out" >&2

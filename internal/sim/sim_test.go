@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -242,6 +243,55 @@ func TestRNGNormFloat64Moments(t *testing.T) {
 	}
 	if variance < 0.9 || variance > 1.1 {
 		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+// TestRNGNormFillMatchesNormFloat64 pins the bulk and scalar normal
+// generators to one stream: any slicing of the sequence into NormFill
+// chunks (odd lengths force the spare cache across call boundaries)
+// must reproduce the per-call sequence bit for bit.
+func TestRNGNormFillMatchesNormFloat64(t *testing.T) {
+	const total = 257
+	ref := NewRNG(21)
+	want := make([]float64, total)
+	for i := range want {
+		want[i] = ref.NormFloat64()
+	}
+	for _, chunks := range [][]int{{total}, {1, 2, 3, 251}, {7, 7, 7, 236}, {256, 1}, {2, 255}} {
+		r := NewRNG(21)
+		got := make([]float64, 0, total)
+		for _, n := range chunks {
+			buf := make([]float64, n)
+			r.NormFill(buf)
+			got = append(got, buf...)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("chunks %v: sample %d = %v, want %v", chunks, i, got[i], want[i])
+			}
+		}
+	}
+	// Interleaving scalar and bulk calls continues the same stream.
+	r := NewRNG(21)
+	got := make([]float64, 0, total)
+	for len(got) < total {
+		if len(got)%3 == 0 {
+			got = append(got, r.NormFloat64())
+		} else {
+			buf := make([]float64, 5)
+			r.NormFill(buf)
+			got = append(got, buf...)
+		}
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("interleaved: sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	r2 := NewRNG(21)
+	r2.NormFill(nil)
+	if r2.Draws() != 0 {
+		t.Error("NormFill(nil) consumed draws")
 	}
 }
 

@@ -290,9 +290,21 @@ func (c *Channel) propagateInto(dst Signal, tx Signal, obsLen int, rng *sim.RNG)
 		c.place(rx, tx, base+tap.DelaySamples, tap.Gain)
 	}
 	if c.NoiseStd > 0 {
+		// Bulk noise: NormFill draws the identical stream a per-sample
+		// NormFloat64 loop would (the equivalence test pins this against
+		// propagateRef), in stack-sized chunks so the whole AWGN pass
+		// stays allocation-free.
 		std := c.NoiseStd
-		for i := range rx {
-			rx[i] += std * rng.NormFloat64()
+		var chunk [256]float64
+		for off := 0; off < len(rx); off += len(chunk) {
+			m := len(rx) - off
+			if m > len(chunk) {
+				m = len(chunk)
+			}
+			rng.NormFill(chunk[:m])
+			for i, v := range chunk[:m] {
+				rx[off+i] += std * v
+			}
 		}
 	}
 	return rx

@@ -12,6 +12,7 @@ package secoc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"autosec/internal/vcrypto"
@@ -57,6 +58,7 @@ type Sender struct {
 	cfg Config
 	key []byte
 	fv  uint64 // full monotonic freshness counter
+	mac macScratch
 }
 
 // NewSender creates a protecting endpoint.
@@ -74,7 +76,7 @@ func NewSender(cfg Config, key []byte) (*Sender, error) {
 // value.
 func (s *Sender) Protect(payload []byte) ([]byte, error) {
 	s.fv++
-	mac, err := computeMAC(s.key, s.cfg, payload, s.fv)
+	mac, err := s.mac.compute(s.key, s.cfg, payload, s.fv)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +98,7 @@ type Receiver struct {
 	cfg    Config
 	key    []byte
 	lastFV uint64
+	mac    macScratch
 }
 
 // NewReceiver creates a verifying endpoint.
@@ -140,7 +143,7 @@ func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
 		if candidate&mask != truncVal&mask {
 			continue
 		}
-		want, err := computeMAC(r.key, r.cfg, payload, candidate)
+		want, err := r.mac.compute(r.key, r.cfg, payload, candidate)
 		if err != nil {
 			return nil, err
 		}
@@ -149,18 +152,45 @@ func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
 			return append([]byte(nil), payload...), nil
 		}
 	}
-	return nil, fmt.Errorf("secoc: verification failed (replay, forgery, or window exceeded)")
+	return nil, errVerifyFailed
 }
+
+// errVerifyFailed is a sentinel: Verify rejects thousands of forged or
+// replayed PDUs per ablation sweep, and formatting a fresh error for
+// each dominated the package's allocations.
+var errVerifyFailed = errors.New("secoc: verification failed (replay, forgery, or window exceeded)")
 
 // LastFV exposes the receiver's counter.
 func (r *Receiver) LastFV() uint64 { return r.lastFV }
 
-func computeMAC(key []byte, cfg Config, payload []byte, fv uint64) ([]byte, error) {
-	msg := make([]byte, 2+len(payload)+8)
+// macScratch holds the reusable message and tag buffers of one
+// endpoint, so the per-PDU MAC computation allocates nothing. Endpoints
+// are documented as single-task objects, so the buffers need no lock.
+type macScratch struct {
+	buf []byte
+}
+
+// compute returns the truncated CMAC over data-ID || payload || full
+// freshness. The result aliases the endpoint's scratch buffer and is
+// only valid until the next compute call; both call sites either copy
+// it (Protect appends) or finish with it immediately (Verify compares).
+func (m *macScratch) compute(key []byte, cfg Config, payload []byte, fv uint64) ([]byte, error) {
+	n := 2 + len(payload) + 8
+	macBytes := cfg.MACBits / 8
+	if cap(m.buf) < n+macBytes {
+		m.buf = make([]byte, n+macBytes)
+	}
+	msg := m.buf[:n]
 	binary.BigEndian.PutUint16(msg[0:2], cfg.DataID)
 	copy(msg[2:], payload)
 	binary.BigEndian.PutUint64(msg[2+len(payload):], fv)
-	return vcrypto.TruncatedCMAC(key, msg, cfg.MACBits)
+	tag, err := vcrypto.CMAC(key, msg)
+	if err != nil {
+		return nil, err
+	}
+	mac := m.buf[n : n+macBytes]
+	copy(mac, tag[:])
+	return mac, nil
 }
 
 func constantTimeEqual(a, b []byte) bool {

@@ -70,11 +70,25 @@ type JamReplayAttacker struct {
 func (a *JamReplayAttacker) Name() string { return "jam-replay" }
 
 func (a *JamReplayAttacker) Inject(rx Signal, tx Signal, legitToA int, rng *sim.RNG) Signal {
-	// Bury the legitimate arrival under jamming noise.
-	for i := range tx {
-		idx := legitToA + i
-		if idx < len(rx) {
-			rx[idx] += a.JamStd * rng.NormFloat64()
+	// Bury the legitimate arrival under jamming noise. Draws happen only
+	// for in-range samples (idx rises monotonically), so filling in bulk
+	// over exactly that prefix consumes the identical RNG stream.
+	m := len(tx)
+	if rem := len(rx) - legitToA; rem < m {
+		m = rem
+	}
+	if m > 0 {
+		std := a.JamStd
+		var chunk [256]float64
+		for off := 0; off < m; off += len(chunk) {
+			c := m - off
+			if c > len(chunk) {
+				c = len(chunk)
+			}
+			rng.NormFill(chunk[:c])
+			for i, v := range chunk[:c] {
+				rx[legitToA+off+i] += std * v
+			}
 		}
 	}
 	// Replay the recorded waveform later and stronger. A record-and-

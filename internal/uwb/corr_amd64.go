@@ -1,0 +1,30 @@
+//go:build amd64
+
+package uwb
+
+import "unsafe"
+
+// haveCorrAsm gates the SSE2 correlation kernel in correlateScratch.
+const haveCorrAsm = true
+
+// corrBlock16 accumulates 16 adjacent correlation windows over the
+// two-plane decimated signal. p points at the first window's base in the
+// positive plane (dec[0] + 8·q); pack holds the template as packed byte
+// offsets, two pulses per word (low 32 bits first), each offset already
+// selecting the plane; when n is odd the final pulse's offset is tailOff.
+// out[c] receives window q+c's raw (pre-division) sum.
+//
+// Each XMM lane owns exactly one window and adds its taps in ascending
+// template order — lanes are never combined — so every out[c] is
+// bit-identical to the scalar accumulation in correlateScratch and
+// correlateRef. SSE2 is part of the amd64 baseline, so no CPUID gate is
+// needed.
+//
+// Bounds contract (caller-proved, see correlateScratch): windows q..q+15
+// are all < nq, so for every template offset the furthest float read,
+// plane_base + (q+15) + (n−1), lies inside the live cnt floats of its
+// plane; the 16-byte MOVUPD loads pairs of adjacent windows and never
+// reads past window q+15's taps.
+//
+//go:noescape
+func corrBlock16(p unsafe.Pointer, pack []uint64, tailOff uintptr, n int, out *[16]float64)

@@ -1,0 +1,104 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func corrBlock16(p unsafe.Pointer, pack []uint64, tailOff uintptr, n int, out *[16]float64)
+//
+// X0..X7 are the accumulators: lane 0 of Xc is window 2c, lane 1 is
+// window 2c+1. Per packed template word two pulses are applied; each
+// chain sees its pulses in ascending template order (offA then offB),
+// so per-window rounding matches the scalar loops bit for bit.
+TEXT ·corrBlock16(SB), NOSPLIT, $0-56
+	MOVQ p+0(FP), DI
+	MOVQ pack_base+8(FP), SI
+	MOVQ pack_len+16(FP), CX
+	MOVQ tailOff+32(FP), R8
+	MOVQ n+40(FP), R9
+	MOVQ out+48(FP), DX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	TESTQ CX, CX
+	JZ   tail
+
+loop:
+	MOVQ (SI), AX
+	ADDQ $8, SI
+	MOVL AX, BX    // offA = low 32 bits (zero-extends)
+	SHRQ $32, AX   // offB = high 32 bits
+	ADDQ DI, BX
+	ADDQ DI, AX
+	// Pulse A into all 16 windows.
+	MOVUPD (BX), X8
+	MOVUPD 16(BX), X9
+	MOVUPD 32(BX), X10
+	MOVUPD 48(BX), X11
+	ADDPD  X8, X0
+	ADDPD  X9, X1
+	ADDPD  X10, X2
+	ADDPD  X11, X3
+	MOVUPD 64(BX), X12
+	MOVUPD 80(BX), X13
+	MOVUPD 96(BX), X14
+	MOVUPD 112(BX), X15
+	ADDPD  X12, X4
+	ADDPD  X13, X5
+	ADDPD  X14, X6
+	ADDPD  X15, X7
+	// Pulse B into all 16 windows.
+	MOVUPD (AX), X8
+	MOVUPD 16(AX), X9
+	MOVUPD 32(AX), X10
+	MOVUPD 48(AX), X11
+	ADDPD  X8, X0
+	ADDPD  X9, X1
+	ADDPD  X10, X2
+	ADDPD  X11, X3
+	MOVUPD 64(AX), X12
+	MOVUPD 80(AX), X13
+	MOVUPD 96(AX), X14
+	MOVUPD 112(AX), X15
+	ADDPD  X12, X4
+	ADDPD  X13, X5
+	ADDPD  X14, X6
+	ADDPD  X15, X7
+	DECQ CX
+	JNZ  loop
+
+tail:
+	// Odd pulse count: one more template step at tailOff.
+	TESTQ $1, R9
+	JZ   store
+	ADDQ DI, R8
+	MOVUPD (R8), X8
+	MOVUPD 16(R8), X9
+	MOVUPD 32(R8), X10
+	MOVUPD 48(R8), X11
+	ADDPD  X8, X0
+	ADDPD  X9, X1
+	ADDPD  X10, X2
+	ADDPD  X11, X3
+	MOVUPD 64(R8), X12
+	MOVUPD 80(R8), X13
+	MOVUPD 96(R8), X14
+	MOVUPD 112(R8), X15
+	ADDPD  X12, X4
+	ADDPD  X13, X5
+	ADDPD  X14, X6
+	ADDPD  X15, X7
+
+store:
+	MOVUPD X0, (DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	MOVUPD X4, 64(DX)
+	MOVUPD X5, 80(DX)
+	MOVUPD X6, 96(DX)
+	MOVUPD X7, 112(DX)
+	RET

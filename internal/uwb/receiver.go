@@ -12,6 +12,9 @@ import (
 // cells). Buffers are length-adjusted by the borrower.
 var decPool = sync.Pool{New: func() any { return new([]float64) }}
 
+// packPool does the same for the per-call packed template offsets.
+var packPool = sync.Pool{New: func() any { return new([]uint64) }}
+
 // Correlate computes the normalized cross-correlation of the received
 // signal with the STS template at every candidate offset. Entry k is the
 // correlation assuming the first STS pulse arrived at sample k, divided
@@ -25,44 +28,77 @@ func Correlate(rx Signal, sts *STS) []float64 {
 // staying bit-identical to correlateRef:
 //
 //   - rx is decimated per residue class mod ChipSpacing, turning the
-//     stride-8 tap gather into sequential loads, and stored interleaved
-//     as (+v, −v) pairs so the ±1 template multiply becomes an indexed
-//     add (negation is exact, so s += (−v) equals s += (−1)·v bit for
-//     bit);
-//   - within each residue, six adjacent output offsets accumulate
-//     together — six independent add chains hide FP latency, and each
-//     template index loaded once serves six outputs.
+//     stride-8 tap gather into sequential loads, and stored as two
+//     planes — dec[q] = +v and dec[stride+q] = −v — so the ±1 template
+//     multiply becomes an offset-addressed add (negation is exact, so
+//     s += (−v) equals s += (−1)·v bit for bit);
+//   - the template is flattened per call into packed byte offsets that
+//     already select the plane (8i for +1, 8i+8·stride for −1), making
+//     the inner loop one load and one add per pulse per window;
+//   - adjacent output offsets are adjacent floats within a plane, so
+//     blocks of windows accumulate together: 16 at a time in the SSE2
+//     kernel (each vector lane owns one window), then 6-wide in pure
+//     Go, then one at a time — independent add chains hide FP latency
+//     and each template offset loaded once serves the whole block.
 //
 // Each output's summation order — template index ascending, then one
 // division — is exactly the reference order, so every float rounds
-// identically.
+// identically: vector lanes never combine across windows.
 func correlateScratch(scr *scratch, rx Signal, sts *STS) []float64 {
-	// n is taken from the template-index sequence (same length as
-	// Polarity) so the window slices below share a provable length
-	// relation with it.
-	tidx := sts.templateIdx()
-	tpack := sts.templatePack()
-	n := len(tidx)
+	pol := sts.Polarity
+	n := len(pol)
 	maxOffset := len(rx) - (n-1)*ChipSpacing
 	if maxOffset <= 0 {
 		return nil
 	}
 	stride := (len(rx) + ChipSpacing - 1) / ChipSpacing
 	var out, dec []float64
+	var pack []uint64
 	var pooled *[]float64
+	var pooledPack *[]uint64
 	if scr != nil {
 		scr.corr = floatsFor(scr.corr, maxOffset)
 		scr.dec = floatsFor(scr.dec, 2*stride)
-		out, dec = scr.corr, scr.dec
+		scr.pack = u64For(scr.pack, n/2)
+		out, dec, pack = scr.corr, scr.dec, scr.pack
 	} else {
-		// Only out escapes (it is the return value); the decimation
-		// buffer is scratch, so scratchless callers borrow it from a
-		// pool instead of paying an allocation plus GC churn per call.
+		// Only out escapes (it is the return value); the decimation and
+		// template-offset buffers are scratch, so scratchless callers
+		// borrow them from pools instead of paying an allocation plus GC
+		// churn per call.
 		out = make([]float64, maxOffset)
 		pooled = decPool.Get().(*[]float64)
 		*pooled = floatsFor(*pooled, 2*stride)
 		dec = *pooled
 		defer decPool.Put(pooled)
+		pooledPack = packPool.Get().(*[]uint64)
+		*pooledPack = u64For(*pooledPack, n/2)
+		pack = *pooledPack
+		defer packPool.Put(pooledPack)
+	}
+	// Flatten the template into plane-selecting byte offsets, two per
+	// word so one 64-bit load feeds two template steps. The offsets are
+	// per call because the negated plane sits 8·stride bytes above the
+	// positive one and stride depends on len(rx).
+	delta := uint32(8 * stride)
+	for k := range pack {
+		a := uint32(16 * k)
+		if pol[2*k] < 0 {
+			a += delta
+		}
+		b := uint32(16*k + 8)
+		if pol[2*k+1] < 0 {
+			b += delta
+		}
+		pack[k] = uint64(a) | uint64(b)<<32
+	}
+	var tailOff uintptr
+	if n&1 != 0 {
+		o := uint32(8 * (n - 1))
+		if pol[n-1] < 0 {
+			o += delta
+		}
+		tailOff = uintptr(o)
 	}
 	nf := float64(n)
 	// When n is a power of two its reciprocal is exact, and scaling by
@@ -75,61 +111,78 @@ func correlateScratch(scr *scratch, rx Signal, sts *STS) []float64 {
 	}
 	for r := 0; r < ChipSpacing && r < maxOffset; r++ {
 		// Samples with index ≡ r (mod ChipSpacing), in order, stored as
-		// (+v, −v) pairs: z[2q] = rx[r+q·ChipSpacing], z[2q+1] = −z[2q].
+		// two planes: dec[q] = rx[r+q·ChipSpacing], dec[stride+q] = −dec[q].
 		// One residue is live at a time, so all eight share one buffer
 		// (it stays hot in L1).
 		cnt := (len(rx) - r + ChipSpacing - 1) / ChipSpacing
-		z := dec[:2*cnt]
+		pos := dec[:cnt]
+		neg := dec[stride : stride+cnt]
 		q := 0
 		for j := r; j < len(rx); j += ChipSpacing {
 			v := rx[j]
-			z[q] = v
-			z[q+1] = -v
-			q += 2
+			pos[q] = v
+			neg[q] = -v
+			q++
 		}
-		// Outputs k = r, r+ChipSpacing, … are sliding ±template sums
-		// over the even entries of z; tidx picks +v or −v per pulse.
+		// Outputs k = r, r+ChipSpacing, … are sliding ±template sums:
+		// window q+c reads plane byte offsets pack[·] from base
+		// dec[0]+8(q+c). The furthest float touched is (q+c)+(n−1) in a
+		// plane, which is < cnt because the last output's last tap lies
+		// inside rx (the maxOffset bound), so every access below stays
+		// inside dec. Direct pointer loads give the bounds-check-free
+		// form of pos/neg[q+c+i] that the range prover cannot reach for
+		// data-dependent indices.
 		nq := (maxOffset - r + ChipSpacing - 1) / ChipSpacing
+		pBase := unsafe.Pointer(&dec[0])
 		q = 0
+		if haveCorrAsm {
+			// 16 windows per call: each SSE2 lane accumulates one
+			// window's sum in ascending template order, so rounding
+			// matches the scalar loops exactly.
+			var blk [16]float64
+			for ; q+16 <= nq; q += 16 {
+				corrBlock16(unsafe.Add(pBase, uintptr(8*q)), pack, tailOff, n, &blk)
+				base := r + q*ChipSpacing
+				if haveInv {
+					for c, s := range blk {
+						out[base+c*ChipSpacing] = s * inv
+					}
+				} else {
+					for c, s := range blk {
+						out[base+c*ChipSpacing] = s / nf
+					}
+				}
+			}
+		}
 		for ; q+6 <= nq; q += 6 {
-			// Window c of this block starts at z[2(q+c)] and reads
-			// offsets tidx[i] ∈ [0, 2n−1] into it; the furthest byte
-			// touched is 8·(2(q+5) + 2n−1) < 8·2·cnt because the last
-			// output's last tap lies inside rx (the maxOffset bound), so
-			// every access below stays inside z. Direct pointer loads
-			// let each chain be exactly one indexed load feeding one
-			// add — the bounds-check-free form of s += z[2(q+c)+ti]
-			// that the range prover cannot reach for data-dependent
-			// indices.
-			p := unsafe.Pointer(&z[2*q])
+			p := unsafe.Add(pBase, uintptr(8*q))
 			var s0, s1, s2, s3, s4, s5 float64
 			// Two template steps per iteration from one packed 64-bit
 			// load; each chain still adds its terms in ascending
 			// template order, so rounding is unchanged.
-			for _, pk := range tpack {
+			for _, pk := range pack {
 				offA := uintptr(uint32(pk))
 				offB := uintptr(pk >> 32)
 				s0 += *(*float64)(unsafe.Add(p, offA))
 				s0 += *(*float64)(unsafe.Add(p, offB))
-				s1 += *(*float64)(unsafe.Add(p, offA+16))
-				s1 += *(*float64)(unsafe.Add(p, offB+16))
-				s2 += *(*float64)(unsafe.Add(p, offA+32))
-				s2 += *(*float64)(unsafe.Add(p, offB+32))
-				s3 += *(*float64)(unsafe.Add(p, offA+48))
-				s3 += *(*float64)(unsafe.Add(p, offB+48))
-				s4 += *(*float64)(unsafe.Add(p, offA+64))
-				s4 += *(*float64)(unsafe.Add(p, offB+64))
-				s5 += *(*float64)(unsafe.Add(p, offA+80))
-				s5 += *(*float64)(unsafe.Add(p, offB+80))
+				s1 += *(*float64)(unsafe.Add(p, offA+8))
+				s1 += *(*float64)(unsafe.Add(p, offB+8))
+				s2 += *(*float64)(unsafe.Add(p, offA+16))
+				s2 += *(*float64)(unsafe.Add(p, offB+16))
+				s3 += *(*float64)(unsafe.Add(p, offA+24))
+				s3 += *(*float64)(unsafe.Add(p, offB+24))
+				s4 += *(*float64)(unsafe.Add(p, offA+32))
+				s4 += *(*float64)(unsafe.Add(p, offB+32))
+				s5 += *(*float64)(unsafe.Add(p, offA+40))
+				s5 += *(*float64)(unsafe.Add(p, offB+40))
 			}
 			if n&1 != 0 {
-				off := uintptr(tidx[n-1])
-				s0 += *(*float64)(unsafe.Add(p, off))
-				s1 += *(*float64)(unsafe.Add(p, off+16))
-				s2 += *(*float64)(unsafe.Add(p, off+32))
-				s3 += *(*float64)(unsafe.Add(p, off+48))
-				s4 += *(*float64)(unsafe.Add(p, off+64))
-				s5 += *(*float64)(unsafe.Add(p, off+80))
+				s0 += *(*float64)(unsafe.Add(p, tailOff))
+				s1 += *(*float64)(unsafe.Add(p, tailOff+8))
+				s2 += *(*float64)(unsafe.Add(p, tailOff+16))
+				s3 += *(*float64)(unsafe.Add(p, tailOff+24))
+				s4 += *(*float64)(unsafe.Add(p, tailOff+32))
+				s5 += *(*float64)(unsafe.Add(p, tailOff+40))
 			}
 			base := r + q*ChipSpacing
 			if haveInv {
@@ -149,10 +202,14 @@ func correlateScratch(scr *scratch, rx Signal, sts *STS) []float64 {
 			}
 		}
 		for ; q < nq; q++ {
-			p := unsafe.Pointer(&z[2*q])
+			p := unsafe.Add(pBase, uintptr(8*q))
 			var sum float64
-			for _, ti := range tidx {
-				sum += *(*float64)(unsafe.Add(p, uintptr(ti)))
+			for _, pk := range pack {
+				sum += *(*float64)(unsafe.Add(p, uintptr(uint32(pk))))
+				sum += *(*float64)(unsafe.Add(p, uintptr(pk>>32)))
+			}
+			if n&1 != 0 {
+				sum += *(*float64)(unsafe.Add(p, tailOff))
 			}
 			if haveInv {
 				out[r+q*ChipSpacing] = sum * inv

@@ -22,6 +22,7 @@ type scratch struct {
 	rx       Signal
 	corr     []float64
 	dec      []float64
+	pack     []uint64
 
 	// One-entry STS cache keyed by (key, session, pulses): repeated
 	// measurements of an unchanged session skip the AES-CTR derivation.
@@ -76,6 +77,14 @@ func (sc *scratch) stsFor(key []byte, session uint32, pulses int) (*STS, error) 
 func floatsFor(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// u64For is floatsFor for uint64 slices.
+func u64For(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
 	}
 	return buf[:n]
 }

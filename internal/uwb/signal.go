@@ -82,17 +82,12 @@ type STS struct {
 	Polarity []int8 // +1 or -1 per pulse
 
 	// template caches Polarity as float64 so the correlation inner loop
-	// never converts int8 per element; templIdx caches it as byte
-	// offsets into a (+v,−v) interleaved float64 signal (16i for +1,
-	// 16i+8 for −1), which lets the correlator replace each multiply
-	// with a plain offset-addressed add; templPack carries those offsets
-	// packed in pairs so one 64-bit load feeds two template steps.
-	// NewSTS builds all of them eagerly; for hand-constructed STS values
-	// they are filled on first use (that lazy path is not safe for
-	// concurrent first calls).
-	template  []float64
-	templIdx  []int32
-	templPack []uint64
+	// never converts int8 per element. NewSTS builds it eagerly; for
+	// hand-constructed STS values it is filled on first use (that lazy
+	// path is not safe for concurrent first calls). The correlator's
+	// byte-offset form of the template depends on the observation length,
+	// so it is built per call from Polarity (see correlateScratch).
+	template []float64
 }
 
 // ensureDerived (re)builds the cached template forms when Polarity has
@@ -101,20 +96,9 @@ func (s *STS) ensureDerived() {
 	if len(s.template) == len(s.Polarity) {
 		return
 	}
-	n := len(s.Polarity)
-	s.template = make([]float64, n)
-	s.templIdx = make([]int32, n)
+	s.template = make([]float64, len(s.Polarity))
 	for i, p := range s.Polarity {
 		s.template[i] = float64(p)
-		s.templIdx[i] = int32(16 * i)
-		if p < 0 {
-			s.templIdx[i] += 8
-		}
-	}
-	s.templPack = make([]uint64, n/2)
-	for k := range s.templPack {
-		s.templPack[k] = uint64(uint32(s.templIdx[2*k])) |
-			uint64(uint32(s.templIdx[2*k+1]))<<32
 	}
 }
 
@@ -124,23 +108,6 @@ func (s *STS) ensureDerived() {
 func (s *STS) Template() []float64 {
 	s.ensureDerived()
 	return s.template
-}
-
-// templateIdx returns the polarity sequence encoded as byte offsets
-// into an interleaved (+v, −v) decimated float64 signal: entry i is 16i
-// when pulse i is +1 and 16i+8 when it is −1. Cached alongside
-// Template.
-func (s *STS) templateIdx() []int32 {
-	s.ensureDerived()
-	return s.templIdx
-}
-
-// templatePack returns templateIdx packed two offsets per word (low 32
-// bits first), halving template loads in the correlation inner loop.
-// When the pulse count is odd the final offset is only in templateIdx.
-func (s *STS) templatePack() []uint64 {
-	s.ensureDerived()
-	return s.templPack
 }
 
 // NewSTS derives a length-pulse STS from an AES-128 key and a session
@@ -203,28 +170,18 @@ func (s *STS) setFromKeystream(ks []byte, pulses int) {
 	if cap(s.Polarity) < pulses {
 		s.Polarity = make([]int8, pulses)
 		s.template = make([]float64, pulses)
-		s.templIdx = make([]int32, pulses)
-		s.templPack = make([]uint64, pulses/2)
 	} else {
 		s.Polarity = s.Polarity[:pulses]
 		s.template = s.template[:pulses]
-		s.templIdx = s.templIdx[:pulses]
-		s.templPack = s.templPack[:pulses/2]
 	}
 	for i := range s.Polarity {
 		if ks[i/8]>>(uint(i)%8)&1 == 1 {
 			s.Polarity[i] = 1
 			s.template[i] = 1
-			s.templIdx[i] = int32(16 * i)
 		} else {
 			s.Polarity[i] = -1
 			s.template[i] = -1
-			s.templIdx[i] = int32(16*i + 8)
 		}
-	}
-	for k := range s.templPack {
-		s.templPack[k] = uint64(uint32(s.templIdx[2*k])) |
-			uint64(uint32(s.templIdx[2*k+1]))<<32
 	}
 }
 

@@ -29,25 +29,38 @@ type cmacState struct {
 // cmacCache memoizes cmacState per key. Protocol simulations MAC
 // thousands of frames under a handful of session keys, so the AES key
 // expansion and subkey derivation dominate short-message CMAC when done
-// per call; caching them changes no output bytes. sync.Map suits the
-// read-mostly access from concurrently running experiment cells.
-var cmacCache sync.Map // string(key) -> *cmacState
+// per call; caching them changes no output bytes. A plain map under an
+// RWMutex (rather than sync.Map) lets the hot lookup use the compiler's
+// zero-copy map[string(b)] access, so a cache hit allocates nothing.
+var (
+	cmacMu    sync.RWMutex
+	cmacCache = map[string]*cmacState{}
+)
 
 func cmacStateFor(key []byte) (*cmacState, error) {
-	if st, ok := cmacCache.Load(string(key)); ok {
-		return st.(*cmacState), nil
+	cmacMu.RLock()
+	st, ok := cmacCache[string(key)]
+	cmacMu.RUnlock()
+	if ok {
+		return st, nil
 	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("vcrypto: cmac key: %w", err)
 	}
-	st := &cmacState{block: block}
+	st = &cmacState{block: block}
 	var l [16]byte
 	block.Encrypt(l[:], l[:])
 	st.k1 = dbl(l)
 	st.k2 = dbl(st.k1)
-	actual, _ := cmacCache.LoadOrStore(string(key), st)
-	return actual.(*cmacState), nil
+	cmacMu.Lock()
+	if exist, ok := cmacCache[string(key)]; ok {
+		st = exist
+	} else {
+		cmacCache[string(key)] = st
+	}
+	cmacMu.Unlock()
+	return st, nil
 }
 
 // CMAC computes the AES-CMAC (RFC 4493) of msg under a 16-, 24-, or

@@ -14,9 +14,11 @@ import (
 	"autosec/internal/campaign"
 	"autosec/internal/core"
 	"autosec/internal/ivn"
+	"autosec/internal/sensor"
 	"autosec/internal/sim"
 	"autosec/internal/uwb"
 	"autosec/internal/vcrypto"
+	"autosec/internal/world"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -73,8 +75,12 @@ func BenchmarkAblationScaling(b *testing.B)         { benchExperiment(b, "ablate
 // BenchmarkCampaignAll runs every experiment at 2 seeds through the
 // campaign pool, once with a single worker (the old serial loop) and
 // once at GOMAXPROCS, so the pool's speedup over serial execution is
-// tracked in the perf trajectory. Run with -benchmem to also see the
-// aggregation overhead.
+// tracked in the perf trajectory. Each jobs level shares one
+// jobs-sized worker pool between cell-level parallelism and
+// intra-experiment replicate fan-out, exactly as `avsec all -jobs K`
+// does: at jobs=1 everything is strictly serial, and at GOMAXPROCS
+// the straggler cells absorb the idle workers' slots. Run with
+// -benchmem to also see the aggregation overhead.
 func BenchmarkCampaignAll(b *testing.B) {
 	var ids []string
 	for _, e := range core.Experiments() {
@@ -85,8 +91,12 @@ func BenchmarkCampaignAll(b *testing.B) {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				pool := sim.NewWorkerPool(jobs)
 				res, err := campaign.Run(campaign.Spec{
-					IDs: ids, Seeds: seeds, Jobs: jobs, Run: core.RunExperiment,
+					IDs: ids, Seeds: seeds, Jobs: jobs, Pool: pool,
+					Run: func(id string, seed int64) (string, error) {
+						return core.RunExperimentWith(id, seed, pool)
+					},
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -100,6 +110,56 @@ func BenchmarkCampaignAll(b *testing.B) {
 }
 
 // --- substrate micro-benchmarks (hot paths) ---
+
+// BenchmarkRunEncounter times one car-following encounter per fusion
+// policy — the unit of work exp-ca fans out over the replicate pool,
+// and the sensing/fusion stack's end-to-end hot path.
+func BenchmarkRunEncounter(b *testing.B) {
+	key := []byte("exp-ca-range-key")
+	for _, policy := range []sensor.FusionPolicy{sensor.NaiveFusion, sensor.ConsensusFusion, sensor.VerifiedFusion} {
+		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := sim.NewRNG(42)
+			cfg := sensor.DefaultEncounter(policy, nil)
+			for i := 0; i < b.N; i++ {
+				res, err := sensor.RunEncounter(cfg, key, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Collided {
+					b.Fatal("benign encounter collided")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFuse times one Sense+Fuse tick under consensus fusion: the
+// innermost loop of every encounter (200 ticks each), dominated by
+// detection clustering.
+func BenchmarkFuse(b *testing.B) {
+	b.ReportAllocs()
+	rng := sim.NewRNG(42)
+	w := world.New()
+	if err := w.Add(&world.Actor{ID: "ego", Radius: 1, Transponder: true}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		a := &world.Actor{ID: fmt.Sprintf("car%d", i), Pos: world.Vec2{X: float64(10 + 15*i), Y: float64(i % 2)}, Radius: 1, Transponder: true}
+		if err := w.Add(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	suite := sensor.NewSuite("ego", []byte("exp-ca-range-key"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dets := suite.Sense(w, nil, rng)
+		obs := suite.Fuse(w, dets, sensor.ConsensusFusion, nil, rng)
+		if len(obs) == 0 {
+			b.Fatal("no fused obstacles")
+		}
+	}
+}
 
 func BenchmarkCMAC64B(b *testing.B) {
 	b.ReportAllocs()

@@ -82,6 +82,7 @@ func fail(err error) {
 func runOne(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "deterministic simulation seed")
+	jobs := fs.Int("jobs", 0, "replicate worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	traceFile := fs.String("trace", "", "write the structured JSONL trace to this file")
 	jsonFile := fs.String("json", "", "write the run's typed metrics as JSON to this file")
 	csvFile := fs.String("csv", "", "write the run's typed metrics as CSV to this file")
@@ -122,6 +123,7 @@ func runOne(args []string) {
 	}
 
 	var opt core.RunOptions
+	opt.Pool = sim.NewWorkerPool(resolveJobs(*jobs))
 	var traceOut *os.File
 	var traceBuf *bufio.Writer
 	var tracer *sim.JSONLTracer
@@ -194,14 +196,27 @@ func writeFileWith(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-// typedRun adapts the registry's structured entry point to the
-// campaign pool, so aggregation consumes typed metrics.
-func typedRun(id string, seed int64) (string, []campaign.Metric, error) {
-	r, err := core.RunExperimentResult(id, seed, core.RunOptions{})
-	if err != nil {
-		return "", nil, err
+// resolveJobs maps the -jobs flag to a concrete pool size: 0 (or any
+// non-positive value) means GOMAXPROCS.
+func resolveJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	return r.Report, r.Metrics, nil
+	return jobs
+}
+
+// typedRunWith adapts the registry's structured entry point to the
+// campaign pool, so aggregation consumes typed metrics. The campaign's
+// shared worker pool is routed into every run, so intra-experiment
+// replicate fan-out and cell-level parallelism spend one -jobs budget.
+func typedRunWith(pool *sim.WorkerPool) campaign.TypedRunFunc {
+	return func(id string, seed int64) (string, []campaign.Metric, error) {
+		r, err := core.RunExperimentResult(id, seed, core.RunOptions{Pool: pool})
+		if err != nil {
+			return "", nil, err
+		}
+		return r.Report, r.Metrics, nil
+	}
 }
 
 // costHint exposes the registry's measured cost ranks to the campaign
@@ -218,7 +233,7 @@ func runExpmd() {
 	const seed = 42
 	metrics := make(docs.Metrics)
 	for _, e := range core.Experiments() {
-		r, err := core.RunExperimentResult(e.ID, seed, core.RunOptions{})
+		r, err := core.RunExperimentResult(e.ID, seed, core.RunOptions{Pool: sim.DefaultPool()})
 		if err != nil {
 			fail(err)
 		}
@@ -253,12 +268,14 @@ func runAll(args []string) {
 		byID[e.ID] = e
 		ids = append(ids, e.ID)
 	}
+	pool := sim.NewWorkerPool(resolveJobs(*jobs))
 	res, err := campaign.Run(campaign.Spec{
 		IDs:      ids,
 		Seeds:    []int64{*seed},
 		Jobs:     *jobs,
+		Pool:     pool,
 		Recheck:  *recheck,
-		RunTyped: typedRun,
+		RunTyped: typedRunWith(pool),
 		CostHint: costHint(byID),
 		OnCell: func(c campaign.CellResult) {
 			e := byID[c.ID]
@@ -342,12 +359,14 @@ func runCampaign(args []string) {
 		fmt.Fprintln(os.Stderr, "avsec campaign: -seeds must be >= 1")
 		os.Exit(2)
 	}
+	pool := sim.NewWorkerPool(resolveJobs(*jobs))
 	res, err := campaign.Run(campaign.Spec{
 		IDs:      ids,
 		Seeds:    campaign.Seeds(*base, *seeds),
 		Jobs:     *jobs,
+		Pool:     pool,
 		Recheck:  *recheck,
-		RunTyped: typedRun,
+		RunTyped: typedRunWith(pool),
 		CostHint: costHint(byID),
 	})
 	if err != nil {
@@ -376,11 +395,14 @@ func runCampaign(args []string) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   avsec list                                     list experiments
-  avsec run <id> [-seed N] [-trace F] [-json F] [-csv F] [-cpuprofile F] [-memprofile F]
+  avsec run <id> [-seed N] [-jobs K] [-trace F] [-json F] [-csv F] [-cpuprofile F] [-memprofile F]
                                                  run one experiment with optional structured
-                                                 trace, typed metrics, and pprof output
+                                                 trace, typed metrics, and pprof output;
+                                                 -jobs bounds replicate fan-out (output is
+                                                 byte-identical for any value)
   avsec all [-seed N] [-jobs K] [-recheck F] [-json F]
-                                                 run every experiment (pooled, ordered output)
+                                                 run every experiment (pooled, ordered output;
+                                                 cells and replicates share the -jobs budget)
   avsec campaign [-seeds N] [-seed B] [-jobs K] [-recheck F] [-json F] [-timings] [ids...]
                                                  multi-seed campaign with aggregate stats,
                                                  determinism self-check, and slowest-cell

@@ -77,6 +77,17 @@ type Spec struct {
 	// hint: results, streaming order, and rendered output are identical
 	// for any hint (or none).
 	CostHint func(id string) int
+	// Pool, when non-nil, is the global worker budget the campaign
+	// shares with intra-cell replicate fan-out: each cell holds one
+	// slot for its whole execution, so nested sim.Replicates calls
+	// inside the cell can only borrow slots that are currently idle.
+	// Size it to Jobs (and route the same pool into the RunFunc, e.g.
+	// via core.RunOptions.Pool) to keep the two-level cells ×
+	// replicates parallelism inside one -jobs budget; once the grid
+	// drains to a last straggler cell, the idle workers' slots are
+	// donated to that cell's replicate loops. Purely a scheduling
+	// device: rendered output is identical with or without it.
+	Pool *sim.WorkerPool
 }
 
 // CellResult is the outcome of one (experiment, seed) run.
@@ -231,7 +242,11 @@ func Run(spec Spec) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
+				// Hold one budget slot per cell so replicate fan-out
+				// inside the cell borrows only idle capacity.
+				spec.Pool.Acquire()
 				runCell(&spec, &grid[i])
+				spec.Pool.Release()
 				done <- i
 			}
 		}()

@@ -48,6 +48,9 @@ type Participant struct {
 	// Suppress hides a truly-sensed actor ID from this member's shares
 	// (the removal variant of data fabrication).
 	Suppress string
+
+	// neighbors is Sense's reusable scratch for the world query.
+	neighbors []*world.Actor
 }
 
 // Sense returns the participant's local observations.
@@ -56,8 +59,9 @@ func (p *Participant) Sense(w *world.World, rng *sim.RNG) []Claim {
 	if self == nil {
 		return nil
 	}
+	p.neighbors = w.NeighborsAppend(p.neighbors[:0], self.Pos, p.SensorRange, p.ID)
 	var out []Claim
-	for _, a := range w.Neighbors(self.Pos, p.SensorRange, p.ID) {
+	for _, a := range p.neighbors {
 		if a.ID == p.Suppress {
 			continue
 		}

@@ -10,6 +10,7 @@ import (
 	"autosec/internal/collab"
 	"autosec/internal/ethernet"
 	"autosec/internal/secoc"
+	"autosec/internal/sim"
 	"autosec/internal/uwb"
 	"autosec/internal/world"
 )
@@ -37,20 +38,39 @@ func RunAblateMAC(rc *RunContext) (string, error) {
 		// Empirical forgery attempts: random MACs against a receiver.
 		// Only feasible to observe successes at 24 bits and below; the
 		// expected count documents why even 24 bits holds per-attempt.
+		// The attempt budget is split into a fixed number of replicate
+		// chunks (fixed so the output never depends on the machine),
+		// each drawing from its own serially pre-forked RNG against its
+		// own receiver; the forgery tally folds over chunks in order.
 		attempts := 100000
 		forged := 0
 		if bits <= 24 {
-			recv, err := secoc.NewReceiver(cfg, key)
+			const chunks = 16
+			base := append([]byte(nil), pdu...)
+			perChunk := make([]int, chunks)
+			err := rc.Replicates(chunks, rng, func(c int, r *sim.RNG) error {
+				recv, err := secoc.NewReceiver(cfg, key)
+				if err != nil {
+					return err
+				}
+				n := attempts / chunks
+				if c < attempts%chunks {
+					n++
+				}
+				forgery := append([]byte(nil), base...)
+				for i := 0; i < n; i++ {
+					r.Bytes(forgery[len(forgery)-bits/8:])
+					if _, err := recv.Verify(forgery); err == nil {
+						perChunk[c]++
+					}
+				}
+				return nil
+			})
 			if err != nil {
 				return "", err
 			}
-			base := append([]byte(nil), pdu...)
-			for i := 0; i < attempts; i++ {
-				forgery := append([]byte(nil), base...)
-				rng.Bytes(forgery[len(forgery)-bits/8:])
-				if _, err := recv.Verify(forgery); err == nil {
-					forged++
-				}
+			for _, n := range perChunk {
+				forged += n
 			}
 		}
 		tb.AddRow(bits, len(pdu)-4, fmt.Sprintf("2^-%d (%.2e)", bits, math.Pow(2, -float64(bits))), forged)
@@ -119,39 +139,48 @@ func RunAblateSTS(rc *RunContext) (string, error) {
 	const trials = 30
 	tb := rc.Table("ablation — STS length vs ghost-peak distance reduction (naive receiver)",
 		"pulses", "reduction-success", "secure-receiver-success")
-	// Both sessions persist across the sweep (only the varying fields are
-	// mutated per trial), so their scratch arenas and STS derivations are
-	// reused; the attacker is stateless.
+	// Each trial is one replicate on its own serially pre-forked RNG:
+	// it measures the naive and the secure receiver back to back with
+	// replicate-local sessions (the scratch arena is reused between the
+	// two measurements), and the success counters fold over the joined
+	// outcomes in trial order. The attacker is stateless and shared.
 	att := &uwb.GhostPeakAttacker{AdvanceSamples: 200, Power: 4}
-	naive := uwb.Session{
-		Key:     key,
-		Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
-		Secure:  false, NaiveThreshold: 0.3,
-	}
-	secure := uwb.Session{
-		Key:     key,
-		Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
-		Secure:  true, Config: uwb.DefaultSecureConfig(),
-		NaiveThreshold: 0.3,
-	}
 	for _, pulses := range []int{32, 64, 128, 256, 1024} {
-		succNaive, succSecure := 0, 0
-		naive.Pulses, secure.Pulses = pulses, pulses
-		for i := 0; i < trials; i++ {
-			naive.Session = uint32(i)
-			m, err := naive.Measure(att, rng)
-			if err != nil {
-				return "", err
+		type outcome struct{ naive, secure bool }
+		outs := make([]outcome, trials)
+		err := rc.Replicates(trials, rng, func(i int, r *sim.RNG) error {
+			naive := uwb.Session{
+				Key: key, Pulses: pulses, Session: uint32(i),
+				Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+				Secure:  false, NaiveThreshold: 0.3,
 			}
-			if m.Accepted && m.ErrorM() < -5 {
+			m, err := naive.Measure(att, r)
+			if err != nil {
+				return err
+			}
+			outs[i].naive = m.Accepted && m.ErrorM() < -5
+			secure := uwb.Session{
+				Key: key, Pulses: pulses, Session: uint32(i),
+				Channel: uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+				Secure:  true, Config: uwb.DefaultSecureConfig(),
+				NaiveThreshold: 0.3,
+			}
+			m, err = secure.Measure(att, r)
+			if err != nil {
+				return err
+			}
+			outs[i].secure = m.Accepted && m.ErrorM() < -5
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		succNaive, succSecure := 0, 0
+		for _, o := range outs {
+			if o.naive {
 				succNaive++
 			}
-			secure.Session = uint32(i)
-			m, err = secure.Measure(att, rng)
-			if err != nil {
-				return "", err
-			}
-			if m.Accepted && m.ErrorM() < -5 {
+			if o.secure {
 				succSecure++
 			}
 		}
@@ -202,27 +231,37 @@ func RunAblateRedundancy(rc *RunContext) (string, error) {
 	tb := rc.Table("ablation — redundancy k vs insider fabrication (20 rounds)",
 		"k", "fakes-accepted", "real-accepted", "missed-real")
 	for _, k := range []int{0, 1, 2, 3} {
-		fakes, real, missed := 0, 0, 0
-		for round := 0; round < 20; round++ {
+		// Each round is an independent replicate (own world, members,
+		// and serially pre-forked RNG); the per-k tallies fold over the
+		// joined outcomes in round order.
+		outs := make([]collab.FusionOutcome, 20)
+		err := rc.Replicates(len(outs), rng, func(round int, r *sim.RNG) error {
 			w := world.New()
 			members := map[string]*collab.Participant{}
 			for i, x := range []float64{0, 20, 40, 60} {
 				id := string(rune('a' + i))
 				if err := w.Add(&world.Actor{ID: id, Pos: world.Vec2{X: x}, Radius: 1}); err != nil {
-					return "", err
+					return err
 				}
 				members[id] = &collab.Participant{ID: id, SensorRange: 50, NoiseStd: 0.1}
 			}
 			if err := w.Add(&world.Actor{ID: "ped", Pos: world.Vec2{X: 30, Y: 4}, Radius: 0.4}); err != nil {
-				return "", err
+				return err
 			}
 			fake := world.Vec2{X: 35}
 			members["b"].Fabricate = &fake
 			var msgs []collab.Message
 			for _, id := range []string{"a", "b", "c", "d"} {
-				msgs = append(msgs, members[id].Share(w, rng))
+				msgs = append(msgs, members[id].Share(w, r))
 			}
-			out := collab.Fuse(w, msgs, members, collab.FusionConfig{RequireAuth: true, RedundancyK: k})
+			outs[round] = collab.Fuse(w, msgs, members, collab.FusionConfig{RequireAuth: true, RedundancyK: k})
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		fakes, real, missed := 0, 0, 0
+		for _, out := range outs {
 			fakes += out.FakeCount
 			real += out.RealCount
 			missed += out.MissedReal

@@ -141,23 +141,30 @@ func RunFig2(rc *RunContext) (string, error) {
 	tb := rc.Table("Fig. 2 — UWB ranging modes under attack",
 		"mode", "receiver", "attack", "accepted", "dist-manipulated", "mean-err-m")
 
-	// One session reused across all sweeps: only the fields that vary per
-	// trial are mutated, so the scratch arena persists.
-	s := uwb.Session{
-		Key: key, Pulses: 256,
-		Channel:        uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
-		Config:         uwb.DefaultSecureConfig(),
-		NaiveThreshold: 0.3,
-	}
+	// Each trial is an independent replicate on its own serially
+	// pre-forked RNG stream, so the sweep fans out over the worker pool;
+	// the per-trial Session (and its scratch arena) is replicate-local.
+	// Acceptance counters and the error mean are folded from the joined
+	// measurements in trial order.
 	hrp := func(secure bool, att uwb.Attacker, label, attackName string) error {
-		accepted, manipulated, errSum := 0, 0, 0.0
-		s.Secure = secure
-		for i := 0; i < trials; i++ {
-			s.Session = uint32(i)
-			m, err := s.Measure(att, rng)
-			if err != nil {
-				return err
+		ms := make([]uwb.Measurement, trials)
+		err := rc.Replicates(trials, rng, func(i int, r *sim.RNG) error {
+			s := uwb.Session{
+				Key: key, Pulses: 256, Session: uint32(i),
+				Channel:        uwb.Channel{DistanceM: 60, NoiseStd: 0.2},
+				Config:         uwb.DefaultSecureConfig(),
+				NaiveThreshold: 0.3,
+				Secure:         secure,
 			}
+			m, err := s.Measure(att, r)
+			ms[i] = m
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		accepted, manipulated, errSum := 0, 0, 0.0
+		for _, m := range ms {
 			if m.Accepted {
 				accepted++
 				errSum += m.ErrorM()
@@ -196,20 +203,25 @@ func RunFig2(rc *RunContext) (string, error) {
 	}
 
 	lrp := func(commitment bool, att *uwb.EDLCAttacker, label, attackName string) error {
-		accepted, manipulated := 0, 0
-		for i := 0; i < trials; i++ {
+		ms := make([]uwb.Measurement, trials)
+		err := rc.Replicates(trials, rng, func(i int, r *sim.RNG) error {
 			resp := make([]byte, 8)
-			rng.Bytes(resp)
+			r.Bytes(resp)
 			s := uwb.LRPSession{
 				Channel:         uwb.Channel{DistanceM: 60, NoiseStd: 0.1},
 				ResponseBits:    32,
 				CommitmentCheck: commitment,
 				MaxBitErrors:    1,
 			}
-			m, err := s.MeasureLRP(resp, att, rng)
-			if err != nil {
-				return err
-			}
+			m, err := s.MeasureLRP(resp, att, r)
+			ms[i] = m
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		accepted, manipulated := 0, 0
+		for _, m := range ms {
 			if m.Accepted {
 				accepted++
 				if m.ErrorM() < -5 {

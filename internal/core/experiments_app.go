@@ -47,16 +47,25 @@ func RunExpCA(rc *RunContext) (string, error) {
 		{sensor.VerifiedFusion, enlarge, "enlarge", false},
 	}
 	for _, st := range studies {
-		collisions, phantoms, braked := 0, 0, 0
-		for i := 0; i < encounters; i++ {
+		// Replicate fan-out: each encounter runs on its own serially
+		// pre-forked RNG; the counters are tallied from the joined
+		// results in index order, so the row is bit-identical to the
+		// serial loop at any worker count.
+		results := make([]sensor.EncounterResult, encounters)
+		err := rc.Replicates(encounters, rng, func(i int, r *sim.RNG) error {
 			cfg := sensor.DefaultEncounter(st.policy, st.attack)
 			if st.farGap {
 				cfg.InitialGapM = 300
 			}
-			res, err := sensor.RunEncounter(cfg, key, rng.Fork())
-			if err != nil {
-				return "", err
-			}
+			res, err := sensor.RunEncounter(cfg, key, r)
+			results[i] = res
+			return err
+		})
+		if err != nil {
+			return "", err
+		}
+		collisions, phantoms, braked := 0, 0, 0
+		for _, res := range results {
 			if res.Collided {
 				collisions++
 			}
@@ -82,12 +91,17 @@ func RunExpCA(rc *RunContext) (string, error) {
 		{sensor.ConsensusFusion, removal, "removal"},
 		{sensor.VerifiedFusion, nil, "none"},
 	} {
+		results := make([]sensor.EncounterResult, encounters)
+		err := rc.Replicates(encounters, rng, func(i int, r *sim.RNG) error {
+			res, err := sensor.RunCutIn(sensor.DefaultCutIn(st.policy, st.attack), key, r)
+			results[i] = res
+			return err
+		})
+		if err != nil {
+			return "", err
+		}
 		collisions, reacted := 0, 0
-		for i := 0; i < encounters; i++ {
-			res, err := sensor.RunCutIn(sensor.DefaultCutIn(st.policy, st.attack), key, rng.Fork())
-			if err != nil {
-				return "", err
-			}
+		for _, res := range results {
 			if res.Collided {
 				collisions++
 			}
@@ -190,12 +204,18 @@ func RunExpCollab(rc *RunContext) (string, error) {
 	// --- intersection competition ---
 	it := rc.Table("§VII-A — intersection competition (30 vehicles)",
 		"policy", "crossed", "collisions", "deadlocked", "ticks", "mean-wait", "max-wait")
-	for _, policy := range []collab.Policy{collab.Cooperative, collab.SelfInterested, collab.OverCautious, collab.Regulated} {
-		res, err := collab.RunIntersection(collab.DefaultIntersection(policy, 30), rng.Fork())
-		if err != nil {
-			return "", err
-		}
-		it.AddRow(policy.String(), res.Crossed, res.Collisions, res.Deadlocked, res.Ticks, res.MeanWait, res.MaxWait)
+	policies := []collab.Policy{collab.Cooperative, collab.SelfInterested, collab.OverCautious, collab.Regulated}
+	runs := make([]collab.IntersectionResult, len(policies))
+	err = rc.Replicates(len(policies), rng, func(i int, r *sim.RNG) error {
+		res, err := collab.RunIntersection(collab.DefaultIntersection(policies[i], 30), r)
+		runs[i] = res
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, res := range runs {
+		it.AddRow(policies[i].String(), res.Crossed, res.Collisions, res.Deadlocked, res.Ticks, res.MeanWait, res.MaxWait)
 	}
 	b.WriteString(it.String())
 	return b.String(), nil

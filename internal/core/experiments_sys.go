@@ -6,6 +6,7 @@ import (
 
 	"autosec/internal/killchain"
 	"autosec/internal/sdv"
+	"autosec/internal/sim"
 	"autosec/internal/sos"
 	"autosec/internal/ssi"
 	"autosec/internal/telemetry"
@@ -157,21 +158,35 @@ func RunFig8(rc *RunContext) (string, error) {
 	tb := rc.Table("Fig. 8 — CARIAD-style telemetry kill chain vs defences",
 		"defences", "chain-broken-at", "records", "vehicles", "precision-m", "personal-data")
 
-	runCase := func(label string, cfg telemetry.Config) {
-		cloud := telemetry.NewCloud(cfg, fleet, points, rng.Fork())
-		rep := killchain.Run(cloud)
+	type kcCase struct {
+		label string
+		cfg   telemetry.Config
+	}
+	cases := []kcCase{{"none (the incident)", telemetry.WorstCase()}}
+	for _, d := range killchain.Defences() {
+		cases = append(cases, kcCase{d.String(), killchain.Apply(d)})
+	}
+	cases = append(cases, kcCase{"all", killchain.Apply(killchain.Defences()...)})
+
+	// One kill-chain trial per defence configuration, fanned out over
+	// the replicate pool; rows are written after the join, in case
+	// order, so the table is bit-identical to the serial loop.
+	reps := make([]*killchain.Report, len(cases))
+	err := rc.Replicates(len(cases), rng, func(i int, r *sim.RNG) error {
+		cloud := telemetry.NewCloud(cases[i].cfg, fleet, points, r)
+		reps[i] = killchain.Run(cloud)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, rep := range reps {
 		broken := "— (breached)"
 		if !rep.Breached {
 			broken = rep.Stages[len(rep.Stages)-1].Stage.String()
 		}
-		tb.AddRow(label, broken, rep.RecordsExfiltrated, rep.VehiclesAffected, rep.PrecisionM, rep.PersonalData)
+		tb.AddRow(cases[i].label, broken, rep.RecordsExfiltrated, rep.VehiclesAffected, rep.PrecisionM, rep.PersonalData)
 	}
-
-	runCase("none (the incident)", telemetry.WorstCase())
-	for _, d := range killchain.Defences() {
-		runCase(d.String(), killchain.Apply(d))
-	}
-	runCase("all", killchain.Apply(killchain.Defences()...))
 
 	var b strings.Builder
 	b.WriteString(tb.String())
@@ -192,14 +207,20 @@ func RunExpStealth(rc *RunContext) (string, error) {
 	rng := rc.RNG()
 	tb := rc.Table("§V-B — exfiltration strategy vs cloud monitoring (200-vehicle fleet)",
 		"strategy", "records", "vehicles", "detected", "alerts", "logical-steps")
-	for _, strategy := range []killchain.ExfilStrategy{killchain.BulkExfil, killchain.LowAndSlow} {
-		cloud := telemetry.NewCloud(telemetry.WorstCase(), 200, 40, rng.Fork())
+	strategies := []killchain.ExfilStrategy{killchain.BulkExfil, killchain.LowAndSlow}
+	reps := make([]*killchain.StealthReport, len(strategies))
+	err := rc.Replicates(len(strategies), rng, func(i int, r *sim.RNG) error {
+		cloud := telemetry.NewCloud(telemetry.WorstCase(), 200, 40, r)
 		cloud.AttachMonitor(telemetry.DefaultMonitor())
-		rep, err := killchain.RunStealthExfil(cloud, strategy)
-		if err != nil {
-			return "", err
-		}
-		tb.AddRow(strategy.String(), rep.RecordsExfiltrated, rep.VehiclesAffected,
+		rep, err := killchain.RunStealthExfil(cloud, strategies[i])
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, rep := range reps {
+		tb.AddRow(strategies[i].String(), rep.RecordsExfiltrated, rep.VehiclesAffected,
 			rep.Detected, len(rep.Alerts), rep.StepsTaken)
 	}
 	var b strings.Builder
@@ -242,22 +263,35 @@ func RunFig9(rc *RunContext) (string, error) {
 	rng := rc.RNG()
 	casc := rc.Table("cascade risk (10000 trials per entry)",
 		"entry", "mean-compromised", "P(safety-critical)", "hardened-mean", "hardened-P")
-	for _, entry := range []string{"backend", "hub", "passenger-os", "sense"} {
-		before, err := m.Cascade(entry, 10000, rng.Fork())
-		if err != nil {
-			return "", err
+	entries := []string{"backend", "hub", "passenger-os", "sense"}
+	// Each entry's (before, after) cascades are two replicate units, in
+	// the same order the serial loop forked RNGs for them: unit 2k runs
+	// the baseline model (Cascade is read-only on the shared m), unit
+	// 2k+1 builds its own hardened model — deterministic, no RNG — and
+	// cascades from the same entry.
+	cascades := make([]sos.CascadeResult, 2*len(entries))
+	err = rc.Replicates(2*len(entries), rng, func(i int, r *sim.RNG) error {
+		entry := entries[i/2]
+		model := m
+		if i%2 == 1 {
+			hardened, err := sos.BuildMaaS()
+			if err != nil {
+				return err
+			}
+			if _, err := hardened.Harden(0.3, "unified-security-owner"); err != nil {
+				return err
+			}
+			model = hardened
 		}
-		hardened, err := sos.BuildMaaS()
-		if err != nil {
-			return "", err
-		}
-		if _, err := hardened.Harden(0.3, "unified-security-owner"); err != nil {
-			return "", err
-		}
-		after, err := hardened.Cascade(entry, 10000, rng.Fork())
-		if err != nil {
-			return "", err
-		}
+		res, err := model.Cascade(entry, 10000, r)
+		cascades[i] = res
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	for k, entry := range entries {
+		before, after := cascades[2*k], cascades[2*k+1]
 		casc.AddRow(entry, before.MeanCompromised, before.SafetyCriticalProb, after.MeanCompromised, after.SafetyCriticalProb)
 	}
 	b.WriteString("\n")

@@ -20,6 +20,11 @@ type RunContext struct {
 	Metrics *sim.MetricSet
 	// Tracer receives structured trace events (nil = off).
 	Tracer sim.Tracer
+	// Pool is the worker budget replicate fan-out borrows idle slots
+	// from (nil = every replicate loop runs serially). Shared with the
+	// campaign runner so cells × replicates stay inside one global
+	// -jobs budget.
+	Pool *sim.WorkerPool
 
 	rng *sim.RNG
 }
@@ -52,6 +57,18 @@ func (rc *RunContext) RNG() *sim.RNG {
 		rc.rng = sim.NewRNG(rc.Seed)
 	}
 	return rc.rng
+}
+
+// Replicates fans n independent Monte-Carlo replicates out over the
+// run's worker pool (serially when the pool is nil or fully busy). The
+// per-replicate RNGs are forked from rng serially in index order and
+// all replicates join before Replicates returns, so the run's output is
+// bit-identical to the serial fork-per-iteration loop at every pool
+// size. fn must draw randomness only from its own RNG and write only
+// index-i state; in particular it must not touch rc's metric or trace
+// sinks — publish after the join, in index order.
+func (rc *RunContext) Replicates(n int, rng *sim.RNG, fn func(i int, rng *sim.RNG) error) error {
+	return rc.Pool.Replicates(n, rng, fn)
 }
 
 // Kernel returns a simulation kernel seeded with the run's seed and
@@ -94,10 +111,15 @@ func (r *RunResult) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// RunOptions selects the observability sinks of RunExperimentResult.
+// RunOptions selects the observability sinks and the worker budget of
+// RunExperimentResult.
 type RunOptions struct {
 	// Tracer, when non-nil, receives the run's structured trace.
 	Tracer sim.Tracer
+	// Pool, when non-nil, is the worker budget the run's replicate
+	// loops borrow idle slots from. Nil runs every replicate loop
+	// serially; the output is identical either way.
+	Pool *sim.WorkerPool
 }
 
 // RunExperimentResult runs one experiment by id with structured metric
@@ -112,6 +134,7 @@ func RunExperimentResult(id string, seed int64, opt RunOptions) (*RunResult, err
 	rc := NewRunContext(seed)
 	rc.Metrics = sim.NewMetricSet()
 	rc.Tracer = opt.Tracer
+	rc.Pool = opt.Pool
 	if rc.Tracer != nil {
 		rc.Metrics.BindTrace(rc.Tracer, nil)
 		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-start", Name: id, Value: float64(seed)})
@@ -133,13 +156,25 @@ func RunExperimentResult(id string, seed int64, opt RunOptions) (*RunResult, err
 
 // RunExperiment runs one experiment by id with structured capture
 // disabled, returning only the report text — the legacy entry point the
-// campaign scraper path and the benchmarks use.
+// campaign scraper path and the benchmarks use. Replicate loops inside
+// the experiment fan out over the process-wide sim.DefaultPool; the
+// report is bit-identical to a serial run (pinned by the cross-check
+// test in parallel_test.go).
 func RunExperiment(id string, seed int64) (string, error) {
+	return RunExperimentWith(id, seed, sim.DefaultPool())
+}
+
+// RunExperimentWith is RunExperiment with an explicit worker budget for
+// the experiment's replicate loops; nil means fully serial. Campaign
+// callers pass their shared cells × replicates pool here.
+func RunExperimentWith(id string, seed int64, pool *sim.WorkerPool) (string, error) {
 	e, err := lookup(id)
 	if err != nil {
 		return "", err
 	}
-	return e.Run(NewRunContext(seed))
+	rc := NewRunContext(seed)
+	rc.Pool = pool
+	return e.Run(rc)
 }
 
 // lookup finds an experiment by id; unknown ids get an error that

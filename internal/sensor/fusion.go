@@ -70,7 +70,7 @@ func (s *Suite) Fuse(w *world.World, dets []Detection, policy FusionPolicy, att 
 			// Confirm cooperative traffic by secure ranging; objects
 			// without transponders (pedestrians, debris) stay believed
 			// on consensus alone.
-			if ob.TruthID != "" && w.Get(ob.TruthID) != nil && w.Get(ob.TruthID).Transponder {
+			if truth := w.Get(ob.TruthID); ob.TruthID != "" && truth != nil && truth.Transponder {
 				m, err := s.RangeTo(w, ob.TruthID, att, rng)
 				if err == nil {
 					if m.Accepted {
@@ -89,9 +89,14 @@ func (s *Suite) Fuse(w *world.World, dets []Detection, policy FusionPolicy, att 
 	return out
 }
 
-// cluster groups detections of one physical (or ghost) object.
+// cluster groups detections of one physical (or ghost) object. sum is
+// the running position total over dets, maintained on append in the
+// same left-to-right order the old per-call summation used, so the
+// centroid stays bit-identical while the O(members) recomputation per
+// association test disappears.
 type cluster struct {
 	dets []Detection
+	sum  world.Vec2
 }
 
 func clusterDetections(dets []Detection) []*cluster {
@@ -101,23 +106,20 @@ func clusterDetections(dets []Detection) []*cluster {
 		for _, c := range clusters {
 			if world.Dist(c.centroid(), d.Pos) <= associationGate {
 				c.dets = append(c.dets, d)
+				c.sum = c.sum.Add(d.Pos)
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			clusters = append(clusters, &cluster{dets: []Detection{d}})
+			clusters = append(clusters, &cluster{dets: []Detection{d}, sum: d.Pos})
 		}
 	}
 	return clusters
 }
 
 func (c *cluster) centroid() world.Vec2 {
-	var sum world.Vec2
-	for _, d := range c.dets {
-		sum = sum.Add(d.Pos)
-	}
-	return sum.Scale(1 / float64(len(c.dets)))
+	return c.sum.Scale(1 / float64(len(c.dets)))
 }
 
 func (c *cluster) minRange() float64 {

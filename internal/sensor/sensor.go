@@ -91,6 +91,9 @@ type Suite struct {
 	// call: keeping it (and its scratch arena) across measurements makes
 	// repeated ranging allocation-free.
 	ranging uwb.Session
+	// neighbors is Sense's scratch for the world neighbourhood query,
+	// reused across ticks so the per-tick query is allocation-free.
+	neighbors []*world.Actor
 }
 
 // NewSuite returns a sensor suite with automotive-plausible defaults.
@@ -105,9 +108,12 @@ func (s *Suite) Sense(w *world.World, att *Attack, rng *sim.RNG) []Detection {
 	if ego == nil {
 		return nil
 	}
+	// One neighbourhood scan serves all three modalities: the world does
+	// not move mid-Sense, so the per-modality queries were identical.
+	s.neighbors = w.NeighborsAppend(s.neighbors[:0], ego.Pos, s.MaxRange, s.EgoID)
 	var out []Detection
 	for _, m := range []Modality{Lidar, Radar, Camera} {
-		for _, a := range w.Neighbors(ego.Pos, s.MaxRange, s.EgoID) {
+		for _, a := range s.neighbors {
 			if att != nil && att.Target == m && att.RemoveID == a.ID {
 				continue // removed from this modality's view
 			}

@@ -50,6 +50,7 @@ type Actor struct {
 type World struct {
 	actors map[string]*Actor
 	order  []string // stable iteration order
+	sorted []string // order sorted by ID, maintained incrementally
 	time   float64
 }
 
@@ -68,6 +69,12 @@ func (w *World) Add(a *Actor) error {
 	}
 	w.actors[a.ID] = a
 	w.order = append(w.order, a.ID)
+	// Keep the by-ID index sorted on insert: collision checks run every
+	// world step, so they must not re-sort the whole ID set each call.
+	at := sort.SearchStrings(w.sorted, a.ID)
+	w.sorted = append(w.sorted, "")
+	copy(w.sorted[at+1:], w.sorted[at:])
+	w.sorted[at] = a.ID
 	return nil
 }
 
@@ -82,6 +89,9 @@ func (w *World) Remove(id string) {
 			w.order = append(w.order[:i], w.order[i+1:]...)
 			break
 		}
+	}
+	if at := sort.SearchStrings(w.sorted, id); at < len(w.sorted) && w.sorted[at] == id {
+		w.sorted = append(w.sorted[:at], w.sorted[at+1:]...)
 	}
 }
 
@@ -108,11 +118,13 @@ func (w *World) Step(dt float64) {
 	w.time += dt
 }
 
-// Collisions returns all overlapping actor pairs, ordered by ID.
+// Collisions returns all overlapping actor pairs, ordered by ID. The
+// pair order is pinned by TestCollisionsPairOrder: it walks the
+// incrementally maintained sorted index, which must enumerate exactly
+// as the historical copy-and-sort implementation did.
 func (w *World) Collisions() [][2]string {
 	var out [][2]string
-	ids := append([]string(nil), w.order...)
-	sort.Strings(ids)
+	ids := w.sorted
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
 			a, b := w.actors[ids[i]], w.actors[ids[j]]
@@ -127,15 +139,22 @@ func (w *World) Collisions() [][2]string {
 // Neighbors returns actors other than excludeID within radius of pos,
 // in insertion order.
 func (w *World) Neighbors(pos Vec2, radius float64, excludeID string) []*Actor {
-	var out []*Actor
+	return w.NeighborsAppend(nil, pos, radius, excludeID)
+}
+
+// NeighborsAppend is Neighbors with a caller-provided scratch slice:
+// the result is appended to dst (which may be nil) and returned, so
+// per-tick callers can reuse one backing array instead of allocating a
+// fresh slice for every query. Order matches Neighbors exactly.
+func (w *World) NeighborsAppend(dst []*Actor, pos Vec2, radius float64, excludeID string) []*Actor {
 	for _, id := range w.order {
 		a := w.actors[id]
 		if a.ID == excludeID {
 			continue
 		}
 		if Dist(pos, a.Pos) <= radius {
-			out = append(out, a)
+			dst = append(dst, a)
 		}
 	}
-	return out
+	return dst
 }

@@ -73,6 +73,64 @@ func TestCollisions(t *testing.T) {
 	}
 }
 
+// TestCollisionsPairOrder pins Collisions' enumeration order to the
+// historical copy-and-sort behaviour: pairs come out in sorted-ID
+// order regardless of insertion order, removals, and re-adds, so the
+// incrementally maintained index must stay an exact sorted view.
+func TestCollisionsPairOrder(t *testing.T) {
+	w := New()
+	// Insert out of order, with everyone overlapping everyone.
+	for _, id := range []string{"m", "z", "a", "q", "b"} {
+		if err := w.Add(&Actor{ID: id, Radius: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Remove("q")
+	if err := w.Add(&Actor{ID: "c", Radius: 10}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{
+		{"a", "b"}, {"a", "c"}, {"a", "m"}, {"a", "z"},
+		{"b", "c"}, {"b", "m"}, {"b", "z"},
+		{"c", "m"}, {"c", "z"},
+		{"m", "z"},
+	}
+	got := w.Collisions()
+	if len(got) != len(want) {
+		t.Fatalf("Collisions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestNeighborsAppendReusesScratch pins NeighborsAppend to Neighbors'
+// order while confirming the scratch slice is actually reused.
+func TestNeighborsAppendReusesScratch(t *testing.T) {
+	w := New()
+	for i, id := range []string{"ego", "n1", "n2", "n3"} {
+		if err := w.Add(&Actor{ID: id, Pos: Vec2{X: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch := make([]*Actor, 0, 8)
+	got := w.NeighborsAppend(scratch[:0], Vec2{}, 10, "ego")
+	want := w.Neighbors(Vec2{}, 10, "ego")
+	if len(got) != len(want) {
+		t.Fatalf("NeighborsAppend = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbor %d = %v, want %v", i, got[i].ID, want[i].ID)
+		}
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("NeighborsAppend did not reuse the caller's scratch backing array")
+	}
+}
+
 func TestNeighborsExcludesSelfAndFar(t *testing.T) {
 	w := New()
 	_ = w.Add(&Actor{ID: "ego", Pos: Vec2{0, 0}})

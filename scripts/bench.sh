@@ -18,7 +18,14 @@ cd "$(dirname "$0")/.."
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-1}"
+# Never clobber an existing snapshot: a second run on the same day gets
+# a -2, -3, … suffix so the checked-in trajectory keeps every point.
 out="BENCH_$(date +%F).json"
+n=2
+while [ -e "$out" ]; do
+    out="BENCH_$(date +%F)-$n.json"
+    n=$((n + 1))
+done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

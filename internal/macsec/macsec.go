@@ -245,7 +245,12 @@ func (s *SecY) pnAcceptable(ch *rxChannel, pn uint32) bool {
 	if s.ReplayWindow == 0 {
 		return pn > ch.highPN
 	}
-	return pn+s.ReplayWindow > ch.highPN && pn != 0
+	// The comparison is lowestAcceptablePN = highPN - window < pn + 1,
+	// rearranged to avoid underflow. It must be computed in 64 bits:
+	// in uint32 arithmetic pn+window wraps for PNs within window of
+	// 2^32, rejecting exactly the fresh frames sent as the channel
+	// approaches PN exhaustion (the moment MKA rekeys under load).
+	return uint64(pn)+uint64(s.ReplayWindow) > uint64(ch.highPN) && pn != 0
 }
 
 func buildAAD(dst, src ethernet.MAC, tag *SecTAG) []byte {

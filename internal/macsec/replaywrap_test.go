@@ -1,0 +1,69 @@
+package macsec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPNAcceptableNearWrap pins the replay-window comparison at the top
+// of the 32-bit PN space. The original expression computed
+// pn+ReplayWindow in uint32, which wraps for PNs within ReplayWindow of
+// 2^32 and rejected exactly the fresh frames sent while a loaded
+// channel approaches PN exhaustion (the moment MKA must rekey).
+func TestPNAcceptableNearWrap(t *testing.T) {
+	const max = ^uint32(0)
+	cases := []struct {
+		name   string
+		window uint32
+		highPN uint32
+		pn     uint32
+		want   bool
+	}{
+		// The regression: pn+window wrapped to a small value in uint32,
+		// so these fresh above-high PNs were rejected.
+		{"fresh PN at top of space", 10, max - 5, max, true},
+		{"fresh PN equals max", 4, max - 1, max, true},
+		{"in-window reorder near wrap", 10, max, max - 5, true},
+		// Semantics that must survive the fix.
+		{"stale below window near wrap", 10, max, max - 10, false},
+		{"window edge accepted", 10, max, max - 9, true},
+		{"zero PN never acceptable", 10, max - 5, 0, false},
+		{"strict mode above high", 0, max - 1, max, true},
+		{"strict mode replay", 0, max, max, false},
+		// Ordinary mid-range behaviour, unchanged.
+		{"mid-range fresh", 4, 100, 101, true},
+		{"mid-range in window", 4, 100, 97, true},
+		{"mid-range stale", 4, 100, 96, false},
+	}
+	for _, tc := range cases {
+		s := &SecY{ReplayWindow: tc.window}
+		ch := &rxChannel{highPN: tc.highPN}
+		if got := s.pnAcceptable(ch, tc.pn); got != tc.want {
+			t.Errorf("%s: pnAcceptable(high=%d, pn=%d, window=%d) = %v, want %v",
+				tc.name, tc.highPN, tc.pn, tc.window, got, tc.want)
+		}
+	}
+}
+
+// TestVerifyAcceptsFrameNearPNWrap drives the same regression through
+// the full Verify path: a receive channel whose high PN sits near the
+// top of the space must still accept the next protected frames.
+func TestVerifyAcceptsFrameNearPNWrap(t *testing.T) {
+	a, b := securedPair(t, Confidential)
+	b.ReplayWindow = 8
+	// Fast-forward both sides to the top of the PN space: the sender's
+	// next PN and the receiver's record of it.
+	const nearTop = ^uint32(0) - 3
+	a.nexPN = nearTop
+	b.peers[a.sci].highPN = nearTop - 1
+
+	for i := 0; i < 3; i++ {
+		sec, err := a.Protect(appFrame(fmt.Sprintf("wrap-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Verify(sec); err != nil {
+			t.Fatalf("frame %d near PN wrap rejected: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package secchan
+
+// Freshness reconstructs full freshness values from the truncated
+// low-order bits that travel on the wire — the AUTOSAR SECOC receiver
+// algorithm, generalised. The receiver holds the last authenticated
+// full value; a PDU carries only the low Bits of the sender's counter,
+// and Reconstruct searches the candidates in (last, last+Window] whose
+// truncation matches, letting the caller's MAC check pick the real
+// one. Replayed or stale PDUs fail because no in-window candidate
+// matches both the truncation and the MAC.
+type Freshness struct {
+	// Bits is how many low-order counter bits travel in the PDU
+	// (1–64; SECOC profile 1 uses 8).
+	Bits int
+	// Window is how far ahead of the last authenticated value a
+	// reconstructed candidate may be (tolerates lost PDUs).
+	Window uint64
+
+	last uint64
+}
+
+// Mask returns the bitmask selecting the transmitted low-order bits.
+func (f *Freshness) Mask() uint64 {
+	if f.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<f.Bits - 1
+}
+
+// Reconstruct searches the candidate full values in (last, last+Window]
+// whose low Bits equal trunc, in increasing order, calling try on each.
+// The first candidate try accepts (typically: the MAC verifies under
+// it) is committed as the new last value and returned. If no candidate
+// matches, the state is unchanged and ok is false.
+//
+// If last+Window would wrap the uint64 counter space the search range
+// is empty and every PDU is rejected: a counter that large means the
+// channel outlived its key, and rekeying resets the counter long
+// before.
+func (f *Freshness) Reconstruct(trunc uint64, try func(candidate uint64) bool) (value uint64, ok bool) {
+	mask := f.Mask()
+	for candidate := f.last + 1; candidate <= f.last+f.Window; candidate++ {
+		if candidate&mask != trunc&mask {
+			continue
+		}
+		if try(candidate) {
+			f.last = candidate
+			return candidate, true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the last authenticated full freshness value.
+func (f *Freshness) Last() uint64 { return f.last }

@@ -1,0 +1,161 @@
+package secchan
+
+import "testing"
+
+func TestWindowStrictOrder(t *testing.T) {
+	w := &Window{Size: 64}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if !w.Check(seq) {
+			t.Fatalf("fresh seq %d rejected", seq)
+		}
+		w.Mark(seq)
+	}
+	if w.High() != 10 {
+		t.Fatalf("high = %d, want 10", w.High())
+	}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if w.Check(seq) {
+			t.Errorf("duplicate seq %d accepted", seq)
+		}
+	}
+}
+
+func TestWindowZeroNeverAcceptable(t *testing.T) {
+	w := &Window{Size: 64}
+	if w.Check(0) {
+		t.Error("seq 0 accepted on a fresh window")
+	}
+	w.Mark(5)
+	if w.Check(0) {
+		t.Error("seq 0 accepted after marking")
+	}
+}
+
+func TestWindowReorderWithinSize(t *testing.T) {
+	w := &Window{Size: 8}
+	w.Mark(20)
+	for _, tc := range []struct {
+		seq  uint64
+		want bool
+	}{
+		{19, true},  // within window, unseen
+		{13, true},  // exactly at the window edge (diff 7 < 8)
+		{12, false}, // one past the edge (diff 8)
+		{21, true},  // future always fresh
+		{20, false}, // the high itself is marked
+	} {
+		if got := w.Check(tc.seq); got != tc.want {
+			t.Errorf("Check(%d) with high=20 size=8 = %v, want %v", tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestWindowFarFutureResetsBitmap(t *testing.T) {
+	w := &Window{Size: 64}
+	w.Mark(1)
+	w.Mark(2)
+	w.Mark(200) // jump > 64 ahead: bitmap history is discarded
+	if w.Check(200) {
+		t.Error("new high still acceptable after Mark")
+	}
+	// 199..137 are inside the new window and were never seen.
+	if !w.Check(199) || !w.Check(137) {
+		t.Error("unseen sequences inside the slid window rejected")
+	}
+	// 1 and 2 fell out of the window entirely.
+	if w.Check(2) {
+		t.Error("sequence below the slid window accepted")
+	}
+}
+
+func TestWindowSizeCapsAt64(t *testing.T) {
+	w := &Window{Size: 1 << 30}
+	w.Mark(100)
+	if w.Check(36) {
+		t.Error("diff 64 accepted: the bitmap cannot track past 64 entries")
+	}
+	if !w.Check(37) {
+		t.Error("diff 63 rejected despite oversized Size")
+	}
+}
+
+func TestCounterStrictWindow(t *testing.T) {
+	c := &Counter{Window: 4}
+	for _, tc := range []struct {
+		seq  uint64
+		want bool
+	}{
+		{0, false}, // not above last (0)
+		{1, true},
+		{4, true},
+		{5, false}, // beyond window above last=0
+	} {
+		if got := c.Accept(tc.seq); got != tc.want {
+			t.Errorf("Accept(%d) from last=0 window=4 = %v, want %v", tc.seq, got, tc.want)
+		}
+	}
+	c.Commit(4)
+	if c.Accept(4) {
+		t.Error("duplicate of committed sequence accepted")
+	}
+	if c.Accept(3) {
+		t.Error("reordered (stale) sequence accepted")
+	}
+	if !c.Accept(8) || c.Accept(9) {
+		t.Error("window edge from last=4 wrong")
+	}
+	if c.Last() != 4 {
+		t.Errorf("Last = %d, want 4", c.Last())
+	}
+}
+
+// TestCounterNoOverflowNearWrap pins the uint64 widening: with last
+// near the top of a 32-bit counter space (as CANsec's widened values
+// can be), last+Window overflows uint32 but the seq-last comparison
+// stays exact.
+func TestCounterNoOverflowNearWrap(t *testing.T) {
+	const top = uint64(^uint32(0))
+	c := &Counter{Window: 16}
+	c.Commit(top - 4)
+	if !c.Accept(top) {
+		t.Error("fresh sequence near 32-bit wrap rejected")
+	}
+	if c.Accept(top - 4) {
+		t.Error("duplicate near wrap accepted")
+	}
+}
+
+func TestLenientAccept(t *testing.T) {
+	const max32 = uint64(^uint32(0))
+	for _, tc := range []struct {
+		high, seq, window uint64
+		want              bool
+	}{
+		{10, 11, 0, true},            // strict: above high
+		{10, 10, 0, false},           // strict: replay
+		{10, 7, 4, true},             // in window
+		{10, 6, 4, false},            // below window
+		{10, 0, 4, false},            // zero never valid
+		{max32 - 5, max32, 10, true}, // the uint32-wrap regression
+	} {
+		if got := LenientAccept(tc.high, tc.seq, tc.window); got != tc.want {
+			t.Errorf("LenientAccept(high=%d, seq=%d, window=%d) = %v, want %v",
+				tc.high, tc.seq, tc.window, got, tc.want)
+		}
+	}
+}
+
+func TestVerifyTrunc(t *testing.T) {
+	if !VerifyTrunc([]byte{1, 2, 3}, []byte{1, 2, 3}) {
+		t.Error("equal MACs rejected")
+	}
+	if VerifyTrunc([]byte{1, 2, 3}, []byte{1, 2, 4}) {
+		t.Error("unequal MACs accepted")
+	}
+	if VerifyTrunc([]byte{1, 2, 3}, []byte{1, 2}) {
+		t.Error("length mismatch accepted")
+	}
+	if !VerifyTrunc(nil, nil) {
+		t.Error("empty MACs should compare equal")
+	}
+}

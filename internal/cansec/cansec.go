@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"autosec/internal/canbus"
+	"autosec/internal/secchan"
 	"autosec/internal/vcrypto"
 )
 
@@ -53,14 +54,26 @@ type Endpoint struct {
 	zone   *Zone
 	nodeID uint16
 	sendFV uint32
-	peerFV map[uint16]uint32 // highest accepted freshness per sender
-	Window uint32            // acceptance window above peer counter
+	peerFV map[uint16]*secchan.Counter // freshness state per sender
+	Window uint32                      // acceptance window above peer counter
 }
 
 // NewEndpoint creates a node endpoint in the zone. nodeID must be unique
 // within the zone (it scopes the freshness space).
 func NewEndpoint(zone *Zone, nodeID uint16) *Endpoint {
-	return &Endpoint{zone: zone, nodeID: nodeID, peerFV: make(map[uint16]uint32), Window: 1024}
+	return &Endpoint{zone: zone, nodeID: nodeID, peerFV: make(map[uint16]*secchan.Counter), Window: 1024}
+}
+
+// peer returns the freshness counter for a sending node, created on
+// first contact and kept in sync with the endpoint's Window setting.
+func (e *Endpoint) peer(src uint16) *secchan.Counter {
+	c, ok := e.peerFV[src]
+	if !ok {
+		c = &secchan.Counter{}
+		e.peerFV[src] = c
+	}
+	c.Window = uint64(e.Window)
+	return c
 }
 
 // Protect wraps payload into a CANsec-protected CAN XL frame with the
@@ -109,8 +122,9 @@ func (e *Endpoint) Verify(f *canbus.Frame) ([]byte, error) {
 	if zoneID != e.zone.ID {
 		return nil, fmt.Errorf("cansec: zone %d, expected %d", zoneID, e.zone.ID)
 	}
-	last := e.peerFV[src]
-	if fv <= last || fv > last+e.Window {
+	ctr := e.peer(src)
+	if !ctr.Accept(uint64(fv)) {
+		last := uint32(ctr.Last())
 		return nil, fmt.Errorf("cansec: freshness %d outside (%d, %d]", fv, last, last+e.Window)
 	}
 
@@ -134,6 +148,6 @@ func (e *Endpoint) Verify(f *canbus.Frame) ([]byte, error) {
 		}
 		payload = append([]byte(nil), payload...)
 	}
-	e.peerFV[src] = fv
+	ctr.Commit(uint64(fv))
 	return payload, nil
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"autosec/internal/secchan"
 	"autosec/internal/vcrypto"
 )
 
@@ -25,8 +26,7 @@ type SA struct {
 	key     []byte
 	sendSeq uint32
 
-	recvHigh uint32
-	window   uint64
+	replay secchan.Window
 	// WindowSize is the anti-replay window (default 64, RFC minimum 32).
 	WindowSize uint32
 }
@@ -66,42 +66,16 @@ func (sa *SA) Decapsulate(pkt []byte) ([]byte, error) {
 	if spi != sa.SPI {
 		return nil, fmt.Errorf("ipsec: SPI %#x does not match SA %#x", spi, sa.SPI)
 	}
-	if !sa.replayOK(seq) {
+	// WindowSize is public and may be tuned after NewSA; sync it into
+	// the kernel window before every check.
+	sa.replay.Size = sa.WindowSize
+	if !sa.replay.Check(uint64(seq)) {
 		return nil, fmt.Errorf("ipsec: anti-replay rejected seq %d", seq)
 	}
 	inner, err := vcrypto.GCMOpen(sa.key, uint64(sa.SPI), seq, pkt[:8], pkt[8:])
 	if err != nil {
 		return nil, err
 	}
-	sa.markSeen(seq)
+	sa.replay.Mark(uint64(seq))
 	return inner, nil
-}
-
-func (sa *SA) replayOK(seq uint32) bool {
-	if seq == 0 {
-		return false
-	}
-	if seq > sa.recvHigh {
-		return true
-	}
-	diff := sa.recvHigh - seq
-	if diff >= sa.WindowSize || diff >= 64 {
-		return false
-	}
-	return sa.window&(1<<diff) == 0
-}
-
-func (sa *SA) markSeen(seq uint32) {
-	if seq > sa.recvHigh {
-		shift := seq - sa.recvHigh
-		if shift >= 64 {
-			sa.window = 0
-		} else {
-			sa.window <<= shift
-		}
-		sa.window |= 1
-		sa.recvHigh = seq
-		return
-	}
-	sa.window |= 1 << (sa.recvHigh - seq)
 }

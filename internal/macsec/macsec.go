@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"autosec/internal/ethernet"
+	"autosec/internal/secchan"
 	"autosec/internal/vcrypto"
 )
 
@@ -241,16 +242,13 @@ func (s *SecY) Verify(f *ethernet.Frame) (*ethernet.Frame, error) {
 	return out, nil
 }
 
+// pnAcceptable applies the 802.1AE replay check through the secchan
+// kernel, which computes it in 64 bits — in uint32 arithmetic
+// pn+window wraps for PNs within window of 2^32, rejecting exactly the
+// fresh frames sent as the channel approaches PN exhaustion (the
+// moment MKA rekeys under load).
 func (s *SecY) pnAcceptable(ch *rxChannel, pn uint32) bool {
-	if s.ReplayWindow == 0 {
-		return pn > ch.highPN
-	}
-	// The comparison is lowestAcceptablePN = highPN - window < pn + 1,
-	// rearranged to avoid underflow. It must be computed in 64 bits:
-	// in uint32 arithmetic pn+window wraps for PNs within window of
-	// 2^32, rejecting exactly the fresh frames sent as the channel
-	// approaches PN exhaustion (the moment MKA rekeys under load).
-	return uint64(pn)+uint64(s.ReplayWindow) > uint64(ch.highPN) && pn != 0
+	return secchan.LenientAccept(uint64(ch.highPN), uint64(pn), uint64(s.ReplayWindow))
 }
 
 func buildAAD(dst, src ethernet.MAC, tag *SecTAG) []byte {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"autosec/internal/secchan"
 	"autosec/internal/vcrypto"
 )
 
@@ -95,10 +96,10 @@ func (s *Sender) FV() uint64 { return s.fv }
 
 // Receiver verifies secured PDUs.
 type Receiver struct {
-	cfg    Config
-	key    []byte
-	lastFV uint64
-	mac    macScratch
+	cfg   Config
+	key   []byte
+	fresh secchan.Freshness
+	mac   macScratch
 }
 
 // NewReceiver creates a verifying endpoint.
@@ -109,14 +110,19 @@ func NewReceiver(cfg Config, key []byte) (*Receiver, error) {
 	if len(key) != 16 {
 		return nil, fmt.Errorf("secoc: key must be 16 bytes")
 	}
-	return &Receiver{cfg: cfg, key: append([]byte(nil), key...)}, nil
+	return &Receiver{
+		cfg:   cfg,
+		key:   append([]byte(nil), key...),
+		fresh: secchan.Freshness{Bits: cfg.FreshnessBits, Window: cfg.AcceptWindow},
+	}, nil
 }
 
 // Verify checks a secured PDU and returns the authenticated payload.
 // The receiver reconstructs the full freshness value from the truncated
-// bits by searching forward from its own counter within the acceptance
-// window; replayed or stale PDUs fail because no in-window counter
-// matches both the truncated bits and the MAC.
+// bits via the secchan kernel's candidate search — forward from its own
+// counter within the acceptance window; replayed or stale PDUs fail
+// because no in-window counter matches both the truncated bits and the
+// MAC.
 func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
 	oh := r.cfg.Overhead()
 	if len(pdu) < oh {
@@ -131,28 +137,23 @@ func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
 	for _, b := range fvTrunc {
 		truncVal = truncVal<<8 | uint64(b)
 	}
-	mask := uint64(1)<<r.cfg.FreshnessBits - 1
-	if r.cfg.FreshnessBits == 64 {
-		mask = ^uint64(0)
-	}
 
-	// Candidate full FVs: the smallest values > lastFV whose low bits
-	// match the received truncation, within the window.
-	base := r.lastFV + 1
-	for candidate := base; candidate <= r.lastFV+r.cfg.AcceptWindow; candidate++ {
-		if candidate&mask != truncVal&mask {
-			continue
-		}
+	var macErr error
+	_, ok := r.fresh.Reconstruct(truncVal, func(candidate uint64) bool {
 		want, err := r.mac.compute(r.key, r.cfg, payload, candidate)
 		if err != nil {
-			return nil, err
+			macErr = err
+			return false
 		}
-		if constantTimeEqual(want, mac) {
-			r.lastFV = candidate
-			return append([]byte(nil), payload...), nil
-		}
+		return secchan.VerifyTrunc(want, mac)
+	})
+	if macErr != nil {
+		return nil, macErr
 	}
-	return nil, errVerifyFailed
+	if !ok {
+		return nil, errVerifyFailed
+	}
+	return append([]byte(nil), payload...), nil
 }
 
 // errVerifyFailed is a sentinel: Verify rejects thousands of forged or
@@ -161,7 +162,7 @@ func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
 var errVerifyFailed = errors.New("secoc: verification failed (replay, forgery, or window exceeded)")
 
 // LastFV exposes the receiver's counter.
-func (r *Receiver) LastFV() uint64 { return r.lastFV }
+func (r *Receiver) LastFV() uint64 { return r.fresh.Last() }
 
 // macScratch holds the reusable message and tag buffers of one
 // endpoint, so the per-PDU MAC computation allocates nothing. Endpoints
@@ -191,15 +192,4 @@ func (m *macScratch) compute(key []byte, cfg Config, payload []byte, fv uint64) 
 	mac := m.buf[n : n+macBytes]
 	copy(mac, tag[:])
 	return mac, nil
-}
-
-func constantTimeEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	var v byte
-	for i := range a {
-		v |= a[i] ^ b[i]
-	}
-	return v == 0
 }

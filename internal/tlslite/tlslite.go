@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"autosec/internal/secchan"
 	"autosec/internal/sim"
 	"autosec/internal/vcrypto"
 )
@@ -37,12 +38,11 @@ const (
 
 // Session is one side of an established channel.
 type Session struct {
-	role     Role
-	sendKey  []byte
-	recvKey  []byte
-	sendSeq  uint64
-	recvHigh uint64
-	window   uint64 // anti-replay bitmap for the 64 records below recvHigh
+	role    Role
+	sendKey []byte
+	recvKey []byte
+	sendSeq uint64
+	replay  secchan.Window // DTLS sliding window over the 64 records below the highest seq
 }
 
 // Handshake derives a connected client/server session pair from a
@@ -72,8 +72,8 @@ func Handshake(clientPSK, serverPSK []byte, rng *sim.RNG) (*Session, *Session, e
 		return nil, nil, fmt.Errorf("tlslite: handshake failed: PSK mismatch")
 	}
 
-	client := &Session{role: Client, sendKey: c2s, recvKey: s2c}
-	server := &Session{role: Server, sendKey: sS2c, recvKey: sC2s}
+	client := &Session{role: Client, sendKey: c2s, recvKey: s2c, replay: secchan.Window{Size: 64}}
+	server := &Session{role: Server, sendKey: sS2c, recvKey: sC2s, replay: secchan.Window{Size: 64}}
 	return client, server, nil
 }
 
@@ -100,7 +100,7 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	}
 	hdr := record[:13]
 	seq := binary.BigEndian.Uint64(hdr[3:11])
-	if !s.replayOK(seq) {
+	if !s.replay.Check(seq) {
 		return nil, fmt.Errorf("tlslite: replayed or too-old record seq %d", seq)
 	}
 	peer := Client
@@ -111,35 +111,6 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.markSeen(seq)
+	s.replay.Mark(seq)
 	return pt, nil
-}
-
-func (s *Session) replayOK(seq uint64) bool {
-	if seq == 0 {
-		return false
-	}
-	if seq > s.recvHigh {
-		return true
-	}
-	diff := s.recvHigh - seq
-	if diff >= 64 {
-		return false
-	}
-	return s.window&(1<<diff) == 0
-}
-
-func (s *Session) markSeen(seq uint64) {
-	if seq > s.recvHigh {
-		shift := seq - s.recvHigh
-		if shift >= 64 {
-			s.window = 0
-		} else {
-			s.window <<= shift
-		}
-		s.window |= 1 // bit 0 = recvHigh itself
-		s.recvHigh = seq
-		return
-	}
-	s.window |= 1 << (s.recvHigh - seq)
 }

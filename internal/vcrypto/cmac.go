@@ -14,9 +14,10 @@ package vcrypto
 import (
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/subtle"
 	"fmt"
 	"sync"
+
+	"autosec/internal/secchan"
 )
 
 // cmacState is the per-key precomputation of CMAC: the expanded AES key
@@ -152,5 +153,5 @@ func VerifyTruncatedCMAC(key, msg, mac []byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return subtle.ConstantTimeCompare(want, mac) == 1, nil
+	return secchan.VerifyTrunc(want, mac), nil
 }

@@ -9,6 +9,8 @@ import (
 	"autosec/internal/canbus"
 	"autosec/internal/collab"
 	"autosec/internal/ethernet"
+	"autosec/internal/secchan"
+	"autosec/internal/secchan/suites"
 	"autosec/internal/secoc"
 	"autosec/internal/sim"
 	"autosec/internal/uwb"
@@ -23,11 +25,15 @@ func RunAblateMAC(rc *RunContext) (string, error) {
 	key := make([]byte, 16)
 	rng.Bytes(key)
 
+	entry, err := suites.Registry().Find("SECOC")
+	if err != nil {
+		return "", err
+	}
+
 	tb := rc.Table("ablation — SECOC MAC truncation",
 		"mac-bits", "overhead-B", "P(forge/attempt)", "forgeries-in-100k")
 	for _, bits := range []int{24, 32, 64, 128} {
-		cfg := secoc.Config{DataID: 1, MACBits: bits, FreshnessBits: 8, AcceptWindow: 64}
-		sender, err := secoc.NewSender(cfg, key)
+		sender, err := entry.New(secchan.Params{Key: key, MACBits: bits})
 		if err != nil {
 			return "", err
 		}
@@ -49,7 +55,7 @@ func RunAblateMAC(rc *RunContext) (string, error) {
 			base := append([]byte(nil), pdu...)
 			perChunk := make([]int, chunks)
 			err := rc.Replicates(chunks, rng, func(c int, r *sim.RNG) error {
-				recv, err := secoc.NewReceiver(cfg, key)
+				recv, err := entry.New(secchan.Params{Key: key, MACBits: bits})
 				if err != nil {
 					return err
 				}

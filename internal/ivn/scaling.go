@@ -6,8 +6,8 @@ import (
 	"autosec/internal/canal"
 	"autosec/internal/canbus"
 	"autosec/internal/ethernet"
-	"autosec/internal/macsec"
-	"autosec/internal/secoc"
+	"autosec/internal/secchan"
+	"autosec/internal/secchan/suites"
 )
 
 // ScalingRow quantifies how a scenario's costs grow with the number of
@@ -37,33 +37,39 @@ func Scaling(n, payloadBytes int) ([]ScalingRow, error) {
 		return nil, fmt.Errorf("ivn: endpoints must be positive, got %d", n)
 	}
 	payload := make([]byte, payloadBytes)
+	reg := suites.Registry()
 
-	// Measured SECOC overhead.
-	sSend, err := secoc.NewSender(secoc.DefaultConfig(1), secocKey)
-	if err != nil {
-		return nil, err
+	// Measured overheads: each suite protects a payload-sized message
+	// and the wire expansion is observed, not assumed.
+	measure := func(name string, key []byte) (int, []byte, error) {
+		e, err := reg.Find(name)
+		if err != nil {
+			return 0, nil, err
+		}
+		s, err := e.New(secchan.Params{Key: key})
+		if err != nil {
+			return 0, nil, err
+		}
+		wire, err := s.Protect(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return len(wire) - len(payload), wire, nil
 	}
-	pdu, err := sSend.Protect(payload)
-	if err != nil {
-		return nil, err
-	}
-	secocOverhead := len(pdu) - len(payload)
 
-	// Measured MACsec overhead (payload delta of a protected frame).
-	sci := macsec.SCIFromMAC(zcUpMAC, 1)
-	secy, err := macsec.NewSecY(macsec.Confidential, sci, hopSAKcc, 0)
+	secocOverhead, _, err := measure("SECOC", secocKey)
 	if err != nil {
 		return nil, err
 	}
-	frame := &ethernet.Frame{Dst: ccMAC, Src: zcUpMAC, EtherType: ethernet.EtherTypeApp, Payload: payload}
-	sec, err := secy.Protect(frame)
+	macsecOverhead, macsecWire, err := measure("MACsec", hopSAKcc)
 	if err != nil {
 		return nil, err
 	}
-	macsecOverhead := len(sec.Payload) - len(payload)
 
 	// Measured CANAL segmentation overhead for a MACsec frame of this
-	// size over CAN XL.
+	// size over CAN XL. The adapter segments the full Ethernet wire
+	// image, so rebuild the frame around the protected payload.
+	sec := &ethernet.Frame{Dst: ccMAC, Src: zcUpMAC, EtherType: ethernet.EtherTypeMACsec, Payload: macsecWire}
 	adapter := canal.NewAdapter(1, canbus.XL, 0x100)
 	canalOverhead, err := adapter.SegmentOverheadBytes(len(sec.Marshal()))
 	if err != nil {

@@ -14,6 +14,8 @@ import (
 	"autosec/internal/campaign"
 	"autosec/internal/core"
 	"autosec/internal/ivn"
+	"autosec/internal/secchan"
+	"autosec/internal/secchan/suites"
 	"autosec/internal/sensor"
 	"autosec/internal/sim"
 	"autosec/internal/uwb"
@@ -229,4 +231,40 @@ func BenchmarkIVNScenarioS1Throughput(b *testing.B) {
 			b.Fatalf("delivered %d", res.Delivered)
 		}
 	}
+}
+
+// BenchmarkSecchanProtectVerify measures one protect→verify round trip
+// through every registered suite (plus the MACsec integrity-only
+// variant) on a 64-byte payload — the per-message cost behind the
+// Table I and IVN overhead comparisons.
+func BenchmarkSecchanProtectVerify(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	payload := make([]byte, 64)
+	run := func(name string, mk func() (secchan.Suite, error)) {
+		b.Run(name, func(b *testing.B) {
+			s, err := mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				wire, err := s.Protect(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Verify(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, e := range suites.Registry() {
+		run(e.Name, func() (secchan.Suite, error) {
+			return e.New(secchan.Params{Key: key, RNG: sim.NewRNG(1)})
+		})
+	}
+	run("MACsec-integ", func() (secchan.Suite, error) {
+		return suites.NewMACsecIntegrityOnly(secchan.Params{Key: key})
+	})
 }

@@ -7,6 +7,7 @@
 # Usage: scripts/bench.sh [go-bench-regexp]
 #   scripts/bench.sh                 # full suite (default -bench=.)
 #   scripts/bench.sh 'UWB|Campaign'  # just the PHY / campaign benchmarks
+#   scripts/bench.sh Secchan         # the per-suite protect/verify costs
 #
 # Environment:
 #   BENCHTIME   passed to -benchtime (default 1s)

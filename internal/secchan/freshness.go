@@ -38,18 +38,65 @@ func (f *Freshness) Mask() uint64 {
 // channel outlived its key, and rekeying resets the counter long
 // before.
 func (f *Freshness) Reconstruct(trunc uint64, try func(candidate uint64) bool) (value uint64, ok bool) {
-	mask := f.Mask()
-	for candidate := f.last + 1; candidate <= f.last+f.Window; candidate++ {
-		if candidate&mask != trunc&mask {
-			continue
-		}
-		if try(candidate) {
-			f.last = candidate
-			return candidate, true
+	it := f.Candidates(trunc)
+	for it.Next() {
+		if try(it.Value()) {
+			it.Commit()
+			return it.Value(), true
 		}
 	}
 	return 0, false
 }
+
+// Candidates is the iterator form of Reconstruct for hot receive
+// paths: the caller drives the candidate loop and the MAC check
+// itself, so nothing escapes to the heap — a rejected PDU costs zero
+// allocations. Usage:
+//
+//	it := f.Candidates(trunc)
+//	for it.Next() {
+//	    if macMatches(it.Value()) {
+//	        it.Commit()
+//	        ...
+//	    }
+//	}
+//
+// The iteration order and window/wrap semantics are exactly those of
+// Reconstruct (which is implemented on top of this).
+type Candidates struct {
+	f     *Freshness
+	trunc uint64 // already masked
+	mask  uint64
+	cur   uint64 // last candidate returned; f.last before the first Next
+	end   uint64 // last+Window, inclusive
+}
+
+// Candidates returns an iterator over the full values in
+// (last, last+Window] whose low Bits equal trunc, smallest first.
+func (f *Freshness) Candidates(trunc uint64) Candidates {
+	mask := f.Mask()
+	return Candidates{f: f, trunc: trunc & mask, mask: mask, cur: f.last, end: f.last + f.Window}
+}
+
+// Next advances to the next matching candidate, reporting whether one
+// exists.
+func (c *Candidates) Next() bool {
+	for cand := c.cur + 1; cand <= c.end; cand++ {
+		if cand&c.mask == c.trunc {
+			c.cur = cand
+			return true
+		}
+	}
+	return false
+}
+
+// Value returns the current candidate. Valid only after Next returned
+// true.
+func (c *Candidates) Value() uint64 { return c.cur }
+
+// Commit records the current candidate as the authenticated freshness
+// value. Call once, after the caller's MAC check accepted it.
+func (c *Candidates) Commit() { c.f.last = c.cur }
 
 // Last returns the last authenticated full freshness value.
 func (f *Freshness) Last() uint64 { return f.last }

@@ -1,0 +1,26 @@
+package secoc
+
+import "testing"
+
+// TestVerifyRejectPathAllocs pins the allocation-free reject path: the
+// MAC-truncation ablation feeds each receiver tens of thousands of
+// forged PDUs, so a rejected Verify must not allocate (scratch MAC
+// buffers, sentinel error, and the secchan candidate iterator all live
+// on the stack or in the receiver).
+func TestVerifyRejectPathAllocs(t *testing.T) {
+	cfg := DefaultConfig(1)
+	key := []byte("0123456789abcdef")
+	s, _ := NewSender(cfg, key)
+	r, _ := NewReceiver(cfg, key)
+	pdu, _ := s.Protect([]byte{1, 2, 3, 4})
+	forged := append([]byte(nil), pdu...)
+	forged[len(forged)-1] ^= 0xff
+	n := testing.AllocsPerRun(1000, func() {
+		if _, err := r.Verify(forged); err == nil {
+			t.Fatal("forgery accepted")
+		}
+	})
+	if n > 0 {
+		t.Errorf("rejected Verify allocates %v per op, want 0", n)
+	}
+}

@@ -138,22 +138,21 @@ func (r *Receiver) Verify(pdu []byte) ([]byte, error) {
 		truncVal = truncVal<<8 | uint64(b)
 	}
 
-	var macErr error
-	_, ok := r.fresh.Reconstruct(truncVal, func(candidate uint64) bool {
-		want, err := r.mac.compute(r.key, r.cfg, payload, candidate)
+	// The iterator form keeps the reject path allocation-free: the
+	// ablation sweeps feed this receiver thousands of forgeries, and a
+	// Reconstruct closure would escape to the heap on every PDU.
+	it := r.fresh.Candidates(truncVal)
+	for it.Next() {
+		want, err := r.mac.compute(r.key, r.cfg, payload, it.Value())
 		if err != nil {
-			macErr = err
-			return false
+			return nil, err
 		}
-		return secchan.VerifyTrunc(want, mac)
-	})
-	if macErr != nil {
-		return nil, macErr
+		if secchan.VerifyTrunc(want, mac) {
+			it.Commit()
+			return append([]byte(nil), payload...), nil
+		}
 	}
-	if !ok {
-		return nil, errVerifyFailed
-	}
-	return append([]byte(nil), payload...), nil
+	return nil, errVerifyFailed
 }
 
 // errVerifyFailed is a sentinel: Verify rejects thousands of forged or

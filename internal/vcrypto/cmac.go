@@ -64,15 +64,34 @@ func cmacStateFor(key []byte) (*cmacState, error) {
 	return st, nil
 }
 
+// cmacBufPool recycles the chaining/output buffer pair. The slices
+// handed to cipher.Block.Encrypt cross an interface boundary, so
+// stack-local arrays would escape — one heap allocation per tag, twice.
+// Borrowing an already-heap-resident pair instead makes CMAC
+// allocation-free on the steady state, which the SECOC receiver's
+// forgery-sweep reject path depends on.
+var cmacBufPool = sync.Pool{New: func() any { return new([2][16]byte) }}
+
 // CMAC computes the AES-CMAC (RFC 4493) of msg under a 16-, 24-, or
 // 32-byte AES key and returns the full 16-byte tag.
 func CMAC(key, msg []byte) ([16]byte, error) {
-	var tag [16]byte
 	st, err := cmacStateFor(key)
 	if err != nil {
-		return tag, err
+		return [16]byte{}, err
 	}
+	buf := cmacBufPool.Get().(*[2][16]byte)
+	tag := cmacCore(st, msg, buf)
+	cmacBufPool.Put(buf)
+	return tag, nil
+}
+
+// cmacCore runs the RFC 4493 block chain using the caller-provided
+// working pair: buf[0] is the CBC-MAC chaining value, buf[1] receives
+// the final tag (copied out by value before the pool reclaims it).
+func cmacCore(st *cmacState, msg []byte, buf *[2][16]byte) [16]byte {
 	block, k1, k2 := st.block, st.k1, st.k2
+	x := &buf[0]
+	*x = [16]byte{}
 
 	n := (len(msg) + 15) / 16 // number of blocks
 	lastComplete := n > 0 && len(msg)%16 == 0
@@ -80,9 +99,8 @@ func CMAC(key, msg []byte) ([16]byte, error) {
 		n = 1
 	}
 
-	var x [16]byte
 	for i := 0; i < n-1; i++ {
-		xorInto(&x, msg[i*16:(i+1)*16])
+		xorInto(x, msg[i*16:(i+1)*16])
 		block.Encrypt(x[:], x[:])
 	}
 
@@ -106,8 +124,8 @@ func CMAC(key, msg []byte) ([16]byte, error) {
 	for i := range x {
 		x[i] ^= last[i]
 	}
-	block.Encrypt(tag[:], x[:])
-	return tag, nil
+	block.Encrypt(buf[1][:], x[:])
+	return buf[1]
 }
 
 // dbl is the GF(2^128) doubling used for CMAC subkey derivation.

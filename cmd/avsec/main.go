@@ -4,9 +4,11 @@
 // Usage:
 //
 //	avsec list                 # show all experiments
-//	avsec run <id> [flags]     # run one experiment (e.g. fig8)
+//	avsec run <id> [flags]     # run one experiment (e.g. fig8, scn-gen-0042)
 //	avsec all [flags]          # run everything in paper order
 //	avsec campaign [flags]     # multi-seed statistical campaign
+//	avsec gen [flags]          # grow/check the scenario corpus (scenarios/)
+//	avsec scenarios            # list the declarative scenario corpus
 //
 // Observability: `run` accepts -trace=<file> (JSONL structured trace of
 // every scheduled/executed event, metric sample, and RNG checkpoint),
@@ -30,10 +32,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"autosec/internal/campaign"
 	"autosec/internal/core"
 	"autosec/internal/docs"
+	"autosec/internal/scenario"
 	"autosec/internal/sim"
 	"autosec/internal/sos"
 )
@@ -65,6 +69,10 @@ func main() {
 		runExpmd()
 	case "campaign":
 		runCampaign(os.Args[2:])
+	case "gen":
+		runGen(os.Args[2:])
+	case "scenarios":
+		runScenarios(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -83,6 +91,7 @@ func runOne(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "deterministic simulation seed")
 	jobs := fs.Int("jobs", 0, "replicate worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	scnDir := fs.String("scenarios", "scenarios", "scenario corpus directory (scn-* ids; missing dir = none)")
 	traceFile := fs.String("trace", "", "write the structured JSONL trace to this file")
 	jsonFile := fs.String("json", "", "write the run's typed metrics as JSON to this file")
 	csvFile := fs.String("csv", "", "write the run's typed metrics as CSV to this file")
@@ -138,7 +147,11 @@ func runOne(args []string) {
 		opt.Tracer = tracer
 	}
 
-	res, err := core.RunExperimentResult(id, *seed, opt)
+	e, err := findExperiment(id, *scnDir)
+	if err != nil {
+		fail(err)
+	}
+	res, err := core.RunResultOf(e, *seed, opt)
 	if err != nil {
 		fail(err)
 	}
@@ -183,6 +196,44 @@ func runOne(args []string) {
 	}
 }
 
+// findExperiment resolves an id against the registry and the scenario
+// corpus under scnDir. Unknown ids error with did-you-mean suggestions
+// drawn from BOTH namespaces, so a typoed scenario name is as
+// self-diagnosing as a typoed registry id.
+func findExperiment(id, scnDir string) (core.Experiment, error) {
+	for _, e := range core.Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	scns, err := scenario.CompileDir(scnDir)
+	if err != nil {
+		return core.Experiment{}, err
+	}
+	for _, e := range scns {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return core.Experiment{}, unknownIDError(id, scns)
+}
+
+// unknownIDError builds the merged-namespace did-you-mean error.
+func unknownIDError(id string, scns []core.Experiment) error {
+	var ids []string
+	for _, e := range core.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	for _, e := range scns {
+		ids = append(ids, e.ID)
+	}
+	msg := fmt.Sprintf("unknown experiment %q", id)
+	if sug := core.SuggestIDs(id, ids, 3); len(sug) > 0 {
+		msg += fmt.Sprintf(" (did you mean %s?)", strings.Join(sug, ", "))
+	}
+	return fmt.Errorf("%s — run 'avsec list' or 'avsec scenarios' for all ids", msg)
+}
+
 // writeFileWith creates path and streams write's output into it.
 func writeFileWith(path string, write func(w io.Writer) error) error {
 	f, err := os.Create(path)
@@ -209,9 +260,17 @@ func resolveJobs(jobs int) int {
 // campaign pool, so aggregation consumes typed metrics. The campaign's
 // shared worker pool is routed into every run, so intra-experiment
 // replicate fan-out and cell-level parallelism spend one -jobs budget.
-func typedRunWith(pool *sim.WorkerPool) campaign.TypedRunFunc {
+// extra maps non-registry experiment ids (compiled scenarios) to their
+// runnable form; they go through the identical observability path.
+func typedRunWith(pool *sim.WorkerPool, extra map[string]core.Experiment) campaign.TypedRunFunc {
 	return func(id string, seed int64) (string, []campaign.Metric, error) {
-		r, err := core.RunExperimentResult(id, seed, core.RunOptions{Pool: pool})
+		var r *core.RunResult
+		var err error
+		if e, ok := extra[id]; ok {
+			r, err = core.RunResultOf(e, seed, core.RunOptions{Pool: pool})
+		} else {
+			r, err = core.RunExperimentResult(id, seed, core.RunOptions{Pool: pool})
+		}
 		if err != nil {
 			return "", nil, err
 		}
@@ -275,7 +334,7 @@ func runAll(args []string) {
 		Jobs:     *jobs,
 		Pool:     pool,
 		Recheck:  *recheck,
-		RunTyped: typedRunWith(pool),
+		RunTyped: typedRunWith(pool, nil),
 		CostHint: costHint(byID),
 		OnCell: func(c campaign.CellResult) {
 			e := byID[c.ID]
@@ -335,22 +394,41 @@ func runCampaign(args []string) {
 	recheck := fs.Float64("recheck", 0.25, "fraction of cells double-executed as a determinism self-check")
 	jsonFile := fs.String("json", "", "write the aggregate results as JSON to this file")
 	timings := fs.Bool("timings", false, "include per-cell wall-clock timings in the -json document (non-deterministic)")
+	scnDir := fs.String("scenarios", "scenarios", "scenario corpus directory (scn-* ids; missing dir = none)")
+	corpus := fs.Bool("corpus", false, "run every scenario in the -scenarios corpus instead of the registry")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	known := make(map[string]bool)
+	scns, err := scenario.CompileDir(*scnDir)
+	if err != nil {
+		fail(err)
+	}
 	byID := make(map[string]core.Experiment)
+	scnByID := make(map[string]core.Experiment, len(scns))
 	var ids []string
 	for _, e := range core.Experiments() {
-		known[e.ID] = true
 		byID[e.ID] = e
 		ids = append(ids, e.ID)
+	}
+	if *corpus {
+		if len(scns) == 0 {
+			fmt.Fprintf(os.Stderr, "avsec campaign: -corpus set but no scenarios under %s\n", *scnDir)
+			os.Exit(2)
+		}
+		ids = nil
+	}
+	for _, e := range scns {
+		byID[e.ID] = e
+		scnByID[e.ID] = e
+		if *corpus {
+			ids = append(ids, e.ID)
+		}
 	}
 	if fs.NArg() > 0 {
 		ids = fs.Args()
 		for _, id := range ids {
-			if !known[id] {
-				fmt.Fprintf(os.Stderr, "avsec campaign: unknown experiment %q (try 'avsec list')\n", id)
+			if _, ok := byID[id]; !ok {
+				fmt.Fprintln(os.Stderr, "avsec campaign:", unknownIDError(id, scns))
 				os.Exit(2)
 			}
 		}
@@ -366,7 +444,7 @@ func runCampaign(args []string) {
 		Jobs:     *jobs,
 		Pool:     pool,
 		Recheck:  *recheck,
-		RunTyped: typedRunWith(pool),
+		RunTyped: typedRunWith(pool, scnByID),
 		CostHint: costHint(byID),
 	})
 	if err != nil {
@@ -392,6 +470,60 @@ func runCampaign(args []string) {
 	fmt.Fprint(os.Stderr, "avsec: "+res.RenderTimings(3))
 }
 
+// runGen drives the coverage-guided scenario generator: it grows a
+// corpus from one recorded seed (writing MANIFEST.ini, INDEX.md, and
+// one folder per scenario), or with -check regenerates the committed
+// corpus from its manifest and fails on any byte difference — the CI
+// freshness gate for scenarios/.
+func runGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "scenarios", "corpus directory")
+	seed := fs.Int64("seed", 7, "generator seed (recorded in the manifest)")
+	target := fs.Int("target", 112, "number of scenarios to generate")
+	maxIters := fs.Int("max-iters", 0, "mutation-search iteration bound (0 = 64×target)")
+	check := fs.Bool("check", false, "regenerate from -out/MANIFEST.ini and fail on any byte difference")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *check {
+		if err := scenario.CheckCorpus(*out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "avsec gen: corpus %s matches its manifest byte for byte\n", *out)
+		return
+	}
+	c, err := scenario.Generate(scenario.GenConfig{Seed: *seed, Target: *target, MaxIters: *maxIters})
+	if err != nil {
+		fail(err)
+	}
+	if err := c.WriteCorpus(*out); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "avsec gen: wrote %d scenarios (%d coverage keys, %d search iterations) to %s\n",
+		len(c.Specs), len(c.Keys), c.Iters, *out)
+}
+
+// runScenarios lists the loaded scenario corpus in `avsec list` format.
+func runScenarios(args []string) {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	dir := fs.String("scenarios", "scenarios", "scenario corpus directory")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	specs, err := scenario.LoadDir(*dir)
+	if err != nil {
+		fail(err)
+	}
+	for _, sp := range specs {
+		title := sp.Title
+		if title == "" {
+			title = scenario.AutoTitle(sp)
+		}
+		fmt.Printf("%-13s %-10s %s\n", scenario.IDPrefix+sp.Name, sp.Attacker.Type, title)
+	}
+	fmt.Fprintf(os.Stderr, "avsec: %d scenarios under %s\n", len(specs), *dir)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   avsec list                                     list experiments
@@ -409,5 +541,14 @@ func usage() {
                                                  timing diagnostics on stderr
   avsec expmd                                    regenerate EXPERIMENTS.md on stdout from
                                                  the registry and a seed-42 typed run
-  avsec dot                                      emit the Fig. 9 model as Graphviz`)
+  avsec gen [-out D] [-seed N] [-target N] [-max-iters N] [-check]
+                                                 grow the coverage-guided scenario corpus
+                                                 (-check: regenerate from D/MANIFEST.ini and
+                                                 fail on any byte difference)
+  avsec scenarios [-scenarios D]                 list the scenario corpus (run with
+                                                 'avsec run scn-<name>')
+  avsec dot                                      emit the Fig. 9 model as Graphviz
+
+run and campaign also resolve scn-* scenario ids from -scenarios
+(default "scenarios"); campaign -corpus runs the whole corpus.`)
 }

@@ -131,13 +131,21 @@ func RunExperimentResult(id string, seed int64, opt RunOptions) (*RunResult, err
 	if err != nil {
 		return nil, err
 	}
+	return RunResultOf(e, seed, opt)
+}
+
+// RunResultOf is RunExperimentResult for an Experiment value that need
+// not be in the registry — the entry point for DSL scenarios compiled
+// by internal/scenario, which run through the exact same observability
+// and worker-pool plumbing as registry experiments.
+func RunResultOf(e Experiment, seed int64, opt RunOptions) (*RunResult, error) {
 	rc := NewRunContext(seed)
 	rc.Metrics = sim.NewMetricSet()
 	rc.Tracer = opt.Tracer
 	rc.Pool = opt.Pool
 	if rc.Tracer != nil {
 		rc.Metrics.BindTrace(rc.Tracer, nil)
-		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-start", Name: id, Value: float64(seed)})
+		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-start", Name: e.ID, Value: float64(seed)})
 	}
 	report, err := e.Run(rc)
 	if err != nil {
@@ -148,9 +156,9 @@ func RunExperimentResult(id string, seed int64, opt RunOptions) (*RunResult, err
 		if rc.rng != nil {
 			draws = rc.rng.Draws()
 		}
-		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-end", Name: id, Draws: draws})
+		rc.Tracer.Trace(sim.TraceEvent{Kind: "run-end", Name: e.ID, Draws: draws})
 	}
-	return &RunResult{ID: id, Title: e.Title, Source: e.Source, Seed: seed,
+	return &RunResult{ID: e.ID, Title: e.Title, Source: e.Source, Seed: seed,
 		Report: report, Metrics: rc.Metrics.Metrics()}, nil
 }
 
@@ -194,23 +202,36 @@ func lookup(id string) (Experiment, error) {
 
 // SuggestExperiments returns up to max registry ids closest to the
 // misspelled id by Damerau–Levenshtein distance, nearest first, ties in
-// registry order. Ids further than half their length away are omitted:
-// past that point the suggestion is noise, not help.
+// registry order.
 func SuggestExperiments(id string, max int) []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return SuggestIDs(id, ids, max)
+}
+
+// SuggestIDs returns up to max candidates from ids closest to the
+// misspelled id by Damerau–Levenshtein distance, nearest first, ties in
+// slice order. Candidates further than half their length away are
+// omitted: past that point the suggestion is noise, not help. The CLI
+// uses this over the union of registry experiments and loaded scenario
+// names, so a typoed scenario id is self-diagnosing too.
+func SuggestIDs(id string, ids []string, max int) []string {
 	type cand struct {
 		id   string
 		dist int
 		pos  int
 	}
 	var cands []cand
-	for pos, e := range Experiments() {
-		d := editDistance(id, e.ID)
-		limit := len(e.ID) / 2
+	for pos, cid := range ids {
+		d := editDistance(id, cid)
+		limit := len(cid) / 2
 		if limit < 2 {
 			limit = 2
 		}
-		if d <= limit || strings.HasPrefix(e.ID, id) {
-			cands = append(cands, cand{e.ID, d, pos})
+		if d <= limit || strings.HasPrefix(cid, id) {
+			cands = append(cands, cand{cid, d, pos})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {

@@ -74,3 +74,23 @@ func TestUnknownExperimentError(t *testing.T) {
 		t.Fatal("RunExperimentResult with unknown id must fail")
 	}
 }
+
+func TestSuggestIDsMergedNamespace(t *testing.T) {
+	// The CLI feeds SuggestIDs the union of registry and scenario ids;
+	// nearest-first ordering and the noise cutoff must hold over any
+	// candidate slice, not just the registry.
+	ids := []string{"fig8", "scn-replay-probe", "scn-forge-edge"}
+	if got := SuggestIDs("scn-replay-prob", ids, 3); len(got) == 0 || got[0] != "scn-replay-probe" {
+		t.Errorf("SuggestIDs scenario typo = %v, want scn-replay-probe first", got)
+	}
+	if got := SuggestIDs("fig9", ids, 3); len(got) == 0 || got[0] != "fig8" {
+		t.Errorf("SuggestIDs(fig9) = %v, want fig8 first", got)
+	}
+	// Prefix matches surface even past the distance cutoff.
+	if got := SuggestIDs("scn-", ids, 3); len(got) != 2 {
+		t.Errorf("SuggestIDs(prefix scn-) = %v, want both scenario ids", got)
+	}
+	if got := SuggestIDs("zzzzzzzzzzzz", ids, 3); len(got) != 0 {
+		t.Errorf("SuggestIDs(garbage) = %v, want none", got)
+	}
+}

@@ -52,7 +52,15 @@ type arrivalModel struct {
 
 // NewIntervalDetector returns a detector in training mode.
 func NewIntervalDetector() *IntervalDetector {
-	return &IntervalDetector{Tolerance: 0.5, MinSamples: 8, learned: make(map[uint32]*arrivalModel), training: true}
+	return NewIntervalDetectorWith(0.5, 8)
+}
+
+// NewIntervalDetectorWith returns a training-mode detector with an
+// explicit anomaly tolerance and per-ID sample requirement — the
+// entry point for declarative scenarios that sweep the detection
+// boundary instead of using the defaults.
+func NewIntervalDetectorWith(tolerance float64, minSamples int) *IntervalDetector {
+	return &IntervalDetector{Tolerance: tolerance, MinSamples: minSamples, learned: make(map[uint32]*arrivalModel), training: true}
 }
 
 // EndTraining freezes the learned baseline; unknown identifiers become

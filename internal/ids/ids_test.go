@@ -190,3 +190,33 @@ func TestResponseActionStrings(t *testing.T) {
 		t.Error("action strings")
 	}
 }
+
+func TestIntervalDetectorWithExplicitTolerance(t *testing.T) {
+	// The scenario DSL sweeps the detection boundary: an arrival at
+	// half the period is flagged at tolerance 0.7 but tolerated at 0.3,
+	// and the defaults constructor is exactly With(0.5, 8).
+	run := func(tolerance float64) bool {
+		d := NewIntervalDetectorWith(tolerance, 8)
+		period := sim.Time(10 * sim.Millisecond)
+		now := sim.Time(0)
+		for i := 0; i < 20; i++ {
+			now += period
+			if a := d.Observe(now, frame(0x100, "engine")); a != nil {
+				t.Fatalf("alert during training: %+v", a)
+			}
+		}
+		d.EndTraining()
+		now += period / 2
+		return d.Observe(now, frame(0x100, "attacker")) != nil
+	}
+	if !run(0.7) {
+		t.Error("half-period arrival not flagged at tolerance 0.7")
+	}
+	if run(0.3) {
+		t.Error("half-period arrival flagged at tolerance 0.3")
+	}
+	d := NewIntervalDetector()
+	if d.Tolerance != 0.5 || d.MinSamples != 8 {
+		t.Errorf("defaults = (%v, %d), want (0.5, 8)", d.Tolerance, d.MinSamples)
+	}
+}

@@ -242,6 +242,28 @@ func Defences() []Defence {
 	return out
 }
 
+// DefenceNames lists every defence's canonical name in Defences order —
+// the vocabulary the scenario DSL's [killchain] section accepts.
+func DefenceNames() []string {
+	out := make([]string, 0, defenceCount)
+	for _, d := range Defences() {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// ParseDefence resolves a canonical defence name (the String form, e.g.
+// "disable-heapdump") back to its Defence. Unknown names error with the
+// full vocabulary so declarative callers get a self-diagnosing message.
+func ParseDefence(name string) (Defence, error) {
+	for _, d := range Defences() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("killchain: unknown defence %q (known: %s)", name, strings.Join(DefenceNames(), ", "))
+}
+
 // Apply returns the worst-case config with the given defences applied.
 func Apply(defs ...Defence) telemetry.Config {
 	cfg := telemetry.WorstCase()

@@ -128,3 +128,25 @@ func TestStageAndDefenceStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestParseDefenceRoundTrip(t *testing.T) {
+	for _, d := range Defences() {
+		got, err := ParseDefence(d.String())
+		if err != nil {
+			t.Errorf("ParseDefence(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("ParseDefence(%q) = %v, want %v", d.String(), got, d)
+		}
+	}
+	if names := DefenceNames(); len(names) != len(Defences()) {
+		t.Errorf("DefenceNames has %d entries, want %d", len(names), len(Defences()))
+	}
+	_, err := ParseDefence("moat")
+	if err == nil {
+		t.Fatal("ParseDefence accepted an unknown name")
+	}
+	if !strings.Contains(err.Error(), "disable-heapdump") {
+		t.Errorf("error %q does not list the vocabulary", err)
+	}
+}

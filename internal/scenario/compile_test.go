@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"autosec/internal/core"
+	"autosec/internal/sim"
+)
+
+// sampleSpecs returns one runnable spec per attack type, spanning every
+// interpreter path: traffic loop with each attacker behaviour plus the
+// kill-chain branch, across two different suites.
+func sampleSpecs(t *testing.T) []*Spec {
+	t.Helper()
+	var specs []*Spec
+	for _, typ := range AttackTypes() {
+		sp := DefaultSpec("xc-" + typ)
+		sp.Attacker.Type = typ
+		switch typ {
+		case AttackDelay:
+			sp.Protocol.Suite = "IPsec ESP" // bitmap window → late accepts
+		case AttackForge:
+			sp.Protocol.MACBits = 8 // truncated MAC → guessable
+		case AttackKillChain:
+			sp.KillChain.Defences = []string{"disable-heapdump"}
+		}
+		sp.Title = AutoTitle(sp)
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("sample %s: %v", typ, err)
+		}
+		specs = append(specs, sp)
+	}
+	return specs
+}
+
+// TestCompileDeterminism: the same spec at the same seed produces
+// byte-identical reports and metric streams across repeated runs.
+func TestCompileDeterminism(t *testing.T) {
+	for _, sp := range sampleSpecs(t) {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			e, err := Compile(sp)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			a, err := core.RunResultOf(e, 42, core.RunOptions{})
+			if err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			b, err := core.RunResultOf(e, 42, core.RunOptions{})
+			if err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			if a.Report != b.Report {
+				t.Error("report not deterministic across runs")
+			}
+			if len(a.Metrics) == 0 {
+				t.Error("scenario published no metrics")
+			}
+		})
+	}
+}
+
+// TestScenarioSerialParallelCrossCheck extends the repo's
+// serial/parallel cross-check invariant to DSL scenarios: every sample
+// scenario must produce byte-identical reports and bit-identical typed
+// metrics whether its replicate loops run serially (nil pool) or over a
+// pool of 1, 2, or GOMAXPROCS workers.
+func TestScenarioSerialParallelCrossCheck(t *testing.T) {
+	const seed = 42
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, sp := range sampleSpecs(t) {
+		sp := sp
+		sp.Run.Replicates = 4 // enough fan-out for the pool to matter
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			e, err := Compile(sp)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			base, err := core.RunResultOf(e, seed, core.RunOptions{})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			for _, workers := range counts {
+				res, err := core.RunResultOf(e, seed, core.RunOptions{Pool: sim.NewWorkerPool(workers)})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if res.Report != base.Report {
+					t.Errorf("workers=%d: report diverged from serial run", workers)
+				}
+				if len(res.Metrics) != len(base.Metrics) {
+					t.Fatalf("workers=%d: %d metrics, serial had %d", workers, len(res.Metrics), len(base.Metrics))
+				}
+				for i := range base.Metrics {
+					if res.Metrics[i] != base.Metrics[i] {
+						t.Errorf("workers=%d: metric %d = %+v, serial had %+v",
+							workers, i, res.Metrics[i], base.Metrics[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompileRejectsInvalid: Compile re-validates, so a mutated-invalid
+// spec cannot reach the runner.
+func TestCompileRejectsInvalid(t *testing.T) {
+	sp := DefaultSpec("bad")
+	sp.World.Zones = 99
+	if _, err := Compile(sp); err == nil {
+		t.Error("Compile accepted an invalid spec")
+	}
+}
+
+// TestCompileID pins the experiment-id convention scenarios are
+// addressed by on the CLI.
+func TestCompileID(t *testing.T) {
+	e, err := Compile(DefaultSpec("baseline"))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if e.ID != IDPrefix+"baseline" {
+		t.Errorf("ID = %q, want %q", e.ID, IDPrefix+"baseline")
+	}
+	if e.Source != "scenario" {
+		t.Errorf("Source = %q, want scenario", e.Source)
+	}
+}
+
+// TestDelayLateAccepts pins that the delay attacker actually probes the
+// replay-window boundary: IPsec ESP's 64-deep bitmap accepts an unseen
+// late frame within the window, while SECOC's strict monotone counter
+// never accepts anything behind its high-water mark.
+func TestDelayLateAccepts(t *testing.T) {
+	run := func(suite string, offset int) float64 {
+		name := strings.ToLower(strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return '-'
+		}, suite))
+		sp := DefaultSpec("late-" + name)
+		sp.Attacker.Type = AttackDelay
+		sp.Attacker.Offset = offset
+		sp.Protocol.Suite = suite
+		e, err := Compile(sp)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", suite, err)
+		}
+		res, err := core.RunResultOf(e, 42, core.RunOptions{})
+		if err != nil {
+			t.Fatalf("run(%s): %v", suite, err)
+		}
+		for _, m := range res.Metrics {
+			if m.Name == "late-accept-rate/value" {
+				return m.Value
+			}
+		}
+		t.Fatalf("%s: no late-accept-rate metric", suite)
+		return 0
+	}
+	if got := run("SECOC", 8); got != 0 {
+		t.Errorf("SECOC late-accept-rate = %v, want 0 (strict counter)", got)
+	}
+	if got := run("IPsec ESP", 8); got <= 0 {
+		t.Errorf("IPsec ESP late-accept-rate = %v, want > 0 (bitmap window)", got)
+	}
+}

@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SpecFile is the canonical file name inside each scenario folder.
+const SpecFile = "scenario.ini"
+
+// ParseError is a positioned scenario.ini parse failure. Malformed
+// input never panics — it always lands here, with the 1-based line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("scenario.ini:%d: %s", e.Line, e.Msg)
+}
+
+func perr(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// field describes one serializable key of a section: how to print the
+// current value and how to assign a parsed one. Parse and Marshal share
+// this table, which is what makes the round-trip guarantee structural
+// rather than hand-kept.
+type field struct {
+	key   string
+	get   func(s *Spec) string
+	set   func(s *Spec, line int, raw string) error
+	write func(s *Spec) bool // nil = always serialize
+}
+
+// section groups fields under their [name] in canonical order.
+type sections []struct {
+	name   string
+	fields []field
+}
+
+func intField(key string, p func(s *Spec) *int) field {
+	return field{
+		key: key,
+		get: func(s *Spec) string { return strconv.Itoa(*p(s)) },
+		set: func(s *Spec, line int, raw string) error {
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				return perr(line, "key %q: %q is not an integer", key, raw)
+			}
+			*p(s) = v
+			return nil
+		},
+	}
+}
+
+func floatField(key string, p func(s *Spec) *float64) field {
+	return field{
+		key: key,
+		get: func(s *Spec) string { return strconv.FormatFloat(*p(s), 'g', -1, 64) },
+		set: func(s *Spec, line int, raw string) error {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return perr(line, "key %q: %q is not a number", key, raw)
+			}
+			*p(s) = v
+			return nil
+		},
+	}
+}
+
+func boolField(key string, p func(s *Spec) *bool) field {
+	return field{
+		key: key,
+		get: func(s *Spec) string { return strconv.FormatBool(*p(s)) },
+		set: func(s *Spec, line int, raw string) error {
+			switch raw {
+			case "true":
+				*p(s) = true
+			case "false":
+				*p(s) = false
+			default:
+				return perr(line, "key %q: %q is not true/false", key, raw)
+			}
+			return nil
+		},
+	}
+}
+
+func stringField(key string, p func(s *Spec) *string) field {
+	return field{
+		key: key,
+		get: func(s *Spec) string { return *p(s) },
+		set: func(s *Spec, line int, raw string) error {
+			*p(s) = raw
+			return nil
+		},
+	}
+}
+
+// specSections is the single source of truth for the scenario.ini
+// format: every section and key, in canonical serialization order.
+func specSections() sections {
+	return sections{
+		{"scenario", []field{
+			stringField("name", func(s *Spec) *string { return &s.Name }),
+			stringField("title", func(s *Spec) *string { return &s.Title }),
+		}},
+		{"world", []field{
+			intField("zones", func(s *Spec) *int { return &s.World.Zones }),
+			intField("endpoints_per_zone", func(s *Spec) *int { return &s.World.EndpointsPerZone }),
+			intField("frames", func(s *Spec) *int { return &s.World.Frames }),
+			intField("frame_bytes", func(s *Spec) *int { return &s.World.FrameBytes }),
+			intField("period_us", func(s *Spec) *int { return &s.World.PeriodUS }),
+		}},
+		{"attacker", []field{
+			stringField("type", func(s *Spec) *string { return &s.Attacker.Type }),
+			intField("zone", func(s *Spec) *int { return &s.Attacker.Zone }),
+			intField("start", func(s *Spec) *int { return &s.Attacker.Start }),
+			intField("every", func(s *Spec) *int { return &s.Attacker.Every }),
+			intField("offset", func(s *Spec) *int { return &s.Attacker.Offset }),
+			intField("rate", func(s *Spec) *int { return &s.Attacker.Rate }),
+		}},
+		{"protocol", []field{
+			stringField("suite", func(s *Spec) *string { return &s.Protocol.Suite }),
+			intField("mac_bits", func(s *Spec) *int { return &s.Protocol.MACBits }),
+		}},
+		{"ids", []field{
+			boolField("enabled", func(s *Spec) *bool { return &s.IDS.Enabled }),
+			floatField("tolerance", func(s *Spec) *float64 { return &s.IDS.Tolerance }),
+			floatField("match_radius", func(s *Spec) *float64 { return &s.IDS.MatchRadius }),
+			floatField("noise_std", func(s *Spec) *float64 { return &s.IDS.NoiseStd }),
+		}},
+		{"killchain", []field{
+			{
+				key: "defences",
+				get: func(s *Spec) string { return strings.Join(s.KillChain.Defences, ", ") },
+				set: func(s *Spec, line int, raw string) error {
+					s.KillChain.Defences = nil
+					if raw == "" {
+						return nil
+					}
+					for _, part := range strings.Split(raw, ",") {
+						part = strings.TrimSpace(part)
+						if part == "" {
+							return perr(line, "key %q: empty defence name in list", "defences")
+						}
+						s.KillChain.Defences = append(s.KillChain.Defences, part)
+					}
+					return nil
+				},
+				// The section only appears for kill-chain scenarios; a
+				// trailing empty list would serialize ambiguously.
+				write: func(s *Spec) bool { return s.Attacker.Type == AttackKillChain },
+			},
+		}},
+		{"run", []field{
+			intField("replicates", func(s *Spec) *int { return &s.Run.Replicates }),
+		}},
+	}
+}
+
+// MarshalINI renders the spec in canonical scenario.ini form. The
+// output is byte-stable: Parse(MarshalINI(s)) reproduces s exactly, and
+// MarshalINI(Parse(b)) is the canonical form of any accepted b.
+func (s *Spec) MarshalINI() []byte {
+	var b strings.Builder
+	b.WriteString("# avsec scenario — see docs/SCENARIOS.md for the format.\n")
+	for _, sec := range specSections() {
+		var lines []string
+		for _, f := range sec.fields {
+			if f.write != nil && !f.write(s) {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s = %s", f.key, f.get(s)))
+		}
+		if len(lines) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[%s]\n", sec.name)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}
+
+// Parse reads a scenario.ini document into a Spec. Unknown sections or
+// keys, duplicates, and malformed values are positioned errors; absent
+// keys keep their DefaultSpec value. Parse never panics on any input.
+func Parse(data []byte) (*Spec, error) {
+	s := DefaultSpec("unnamed")
+	s.Name = "" // the file must say; the default would mask a missing name
+	s.Title = ""
+
+	secs := specSections()
+	fieldsOf := make(map[string]map[string]field, len(secs))
+	for _, sec := range secs {
+		m := make(map[string]field, len(sec.fields))
+		for _, f := range sec.fields {
+			m[f.key] = f
+		}
+		fieldsOf[sec.name] = m
+	}
+
+	current := "" // active section name; "" = before any header
+	seenSection := map[string]bool{}
+	seenKey := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		ln := i + 1
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, ";") {
+			continue
+		}
+		if strings.HasPrefix(t, "[") {
+			if !strings.HasSuffix(t, "]") {
+				return nil, perr(ln, "unterminated section header %q", t)
+			}
+			name := strings.TrimSpace(t[1 : len(t)-1])
+			if _, ok := fieldsOf[name]; !ok {
+				return nil, perr(ln, "unknown section %q", name)
+			}
+			if seenSection[name] {
+				return nil, perr(ln, "duplicate section [%s]", name)
+			}
+			seenSection[name] = true
+			current = name
+			continue
+		}
+		eq := strings.Index(t, "=")
+		if eq < 0 {
+			return nil, perr(ln, "expected 'key = value' or a [section] header, got %q", t)
+		}
+		if current == "" {
+			return nil, perr(ln, "key before any [section] header")
+		}
+		key := strings.TrimSpace(t[:eq])
+		val := strings.TrimSpace(t[eq+1:])
+		f, ok := fieldsOf[current][key]
+		if !ok {
+			return nil, perr(ln, "unknown key %q in section [%s] (known: %s)", key, current, knownKeys(secs, current))
+		}
+		full := current + "." + key
+		if seenKey[full] {
+			return nil, perr(ln, "duplicate key %q in section [%s]", key, current)
+		}
+		seenKey[full] = true
+		if err := f.set(s, ln, val); err != nil {
+			return nil, err
+		}
+	}
+	if s.Name == "" {
+		return nil, perr(1, "missing required key: [scenario] name")
+	}
+	if seenSection["killchain"] && s.Attacker.Type != AttackKillChain {
+		return nil, perr(1, "[killchain] section requires attacker type %q, not %q", AttackKillChain, s.Attacker.Type)
+	}
+	return s, nil
+}
+
+// knownKeys lists a section's keys for error messages, sorted.
+func knownKeys(secs sections, name string) string {
+	for _, sec := range secs {
+		if sec.name != name {
+			continue
+		}
+		keys := make([]string, len(sec.fields))
+		for i, f := range sec.fields {
+			keys[i] = f.key
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, ", ")
+	}
+	return ""
+}

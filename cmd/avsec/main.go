@@ -21,6 +21,10 @@
 // re-execute a fraction of (experiment, seed) cells to enforce the sim
 // kernel's determinism contract; stdout stays byte-identical for any
 // -jobs value because every table is a pure function of the reports.
+//
+// For long-running, fleet-scale use the same campaigns are served over
+// HTTP by the avsecd daemon (cmd/avsecd, docs/DAEMON.md), whose output
+// is byte-identical to `avsec campaign` for the same spec.
 package main
 
 import (
@@ -550,5 +554,8 @@ func usage() {
   avsec dot                                      emit the Fig. 9 model as Graphviz
 
 run and campaign also resolve scn-* scenario ids from -scenarios
-(default "scenarios"); campaign -corpus runs the whole corpus.`)
+(default "scenarios"); campaign -corpus runs the whole corpus.
+campaigns are also served over HTTP by the avsecd daemon (go run
+./cmd/avsecd, API reference in docs/DAEMON.md) with byte-identical
+output and a content-addressed result cache.`)
 }

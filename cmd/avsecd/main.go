@@ -1,0 +1,130 @@
+// Command avsecd is the fleet-scale campaign daemon: a single-binary,
+// stdlib-only HTTP service that runs experiment campaigns on demand
+// instead of one CLI invocation at a time. It accepts campaign specs
+// over HTTP/JSON, shards cells and replicates across worker goroutines
+// through the same two-level budget `avsec campaign` uses, streams
+// results back incrementally as NDJSON, and serves repeated sweeps
+// from a content-addressed result cache keyed by (experiment, seed,
+// binary content hash) — so a repeat sweep of an unchanged build is
+// free and byte-identical.
+//
+// Usage:
+//
+//	avsecd [-config avsecd.json] [-addr HOST:PORT] [-jobs N]
+//	       [-scenarios DIR] [-cache-dir DIR] [-no-cache]
+//
+// Flags override the config file. On startup the daemon announces the
+// resolved listen address on stdout as
+//
+//	avsecd: listening on http://127.0.0.1:8787
+//
+// which is how scripts find the port when -addr ends in :0. SIGINT or
+// SIGTERM drains in-flight campaigns and exits. The HTTP API —
+// endpoints, campaign-spec schema, NDJSON stream format, cache
+// semantics, and the determinism contract — is documented in
+// docs/DAEMON.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autosec/internal/config"
+	"autosec/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("avsecd", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "JSON configuration file (absent fields keep defaults)")
+	addr := fs.String("addr", "", "listen address, host:port (port 0 = kernel-assigned; overrides config)")
+	jobs := fs.Int("jobs", -1, "default campaign worker-pool size, 0 = GOMAXPROCS (overrides config)")
+	scnDir := fs.String("scenarios", "", "scenario corpus directory (overrides config)")
+	cacheDir := fs.String("cache-dir", "", "result cache directory (overrides config)")
+	noCache := fs.Bool("no-cache", false, "disable the result cache entirely")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "avsecd: unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+
+	cfg := config.Default()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *jobs >= 0 {
+		cfg.Jobs = *jobs
+	}
+	if *scnDir != "" {
+		cfg.ScenarioDir = *scnDir
+	}
+	if *cacheDir != "" {
+		cfg.Cache.Dir = *cacheDir
+	}
+	if *noCache {
+		cfg.Cache.Disabled = true
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	// Listen before announcing, so the printed address is the resolved
+	// one (meaningful when the configured port is 0).
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("avsecd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: time.Duration(cfg.ReadHeaderTimeoutMS) * time.Millisecond,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "avsecd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			// In-flight campaigns outlasted the grace period; close
+			// their connections rather than hang forever.
+			hs.Close()
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "avsecd:", err)
+	os.Exit(1)
+}

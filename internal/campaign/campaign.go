@@ -315,24 +315,9 @@ func runCell(spec *Spec, c *CellResult) {
 		c.Diverged = true
 		c.RecheckReport = second
 	}
-	if !metricsEqual(c.Metrics, secondMetrics) {
+	if !sim.MetricsEqual(c.Metrics, secondMetrics) {
 		c.MetricsDiverged = true
 	}
-}
-
-// metricsEqual reports exact equality of two metric streams: the
-// determinism contract promises bit-identical values, not approximate
-// ones.
-func metricsEqual(a, b []sim.Metric) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Rechecked counts the cells the determinism self-check double-executed.

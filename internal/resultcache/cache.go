@@ -1,0 +1,247 @@
+// Package resultcache is the content-addressed result cache behind the
+// avsecd campaign daemon: one entry per (experiment, seed, code
+// version) holds the run's report bytes and typed sim.Metric stream,
+// so a repeated sweep of an unchanged binary is served from disk
+// instead of recomputed.
+//
+// The cache is safe to trust precisely because the sim kernel is
+// deterministic: the same experiment at the same seed under the same
+// code produces byte-identical output, so replaying a stored result is
+// indistinguishable from recomputation. Everything in the design
+// defends that equivalence:
+//
+//   - Keys are SHA-256 digests over length-prefixed parts (experiment
+//     id, seed, code version, and — for DSL scenarios — the canonical
+//     scenario.ini bytes), so no concatenation of distinct inputs can
+//     collide and a changed binary or edited scenario can never serve
+//     a stale result.
+//   - Entries embed a SHA-256 checksum of their payload; a flipped bit
+//     or truncated file is detected on read, counted, deleted, and
+//     reported as a miss — corruption degrades to recomputation, never
+//     to wrong bytes.
+//   - Writes are atomic (temp file + rename in the same directory), so
+//     concurrent readers see either the whole entry or none of it, and
+//     a crash mid-write cannot leave a half-entry behind.
+//
+// Metric values survive the JSON round trip bit-exactly: encoding/json
+// renders float64 with the shortest representation that parses back to
+// the same bits. Entries whose metrics cannot be marshalled (NaN/Inf)
+// are rejected at Put, which no experiment produces.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autosec/internal/sim"
+)
+
+// Entry is one cached run result: exactly what the campaign runner
+// needs to treat the cell as executed.
+type Entry struct {
+	// Report is the run's rendered report, byte-for-byte.
+	Report string `json:"report"`
+	// Metrics is the run's typed metric stream, in publication order.
+	Metrics []sim.Metric `json:"metrics"`
+}
+
+// envelope is the on-disk format: the payload plus its checksum. Key
+// is stored for operator-facing debuggability (an entry names what it
+// is) and cross-checked on read so a file renamed onto the wrong key
+// cannot be served.
+type envelope struct {
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats counts cache outcomes since the process started. Counters only
+// ever increase; they feed the daemon's /api/v1/cache endpoint and the
+// CI smoke check that a repeated sweep really was served from cache.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stores  uint64 `json:"stores"`
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// Cache is a content-addressed result store rooted at one directory.
+// All methods are safe for concurrent use.
+type Cache struct {
+	dir string
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stores  atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+// New opens (creating if needed) a cache rooted at dir.
+func New(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key derives the content address for a sequence of parts. Each part
+// is length-prefixed before hashing, so ("ab", "c") and ("a", "bc")
+// address different entries — the key is a function of the parts, not
+// of their concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps a key to its file, sharded by the first key byte so one
+// directory never accumulates every entry.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the entry stored under key, or ok=false on a miss. A
+// corrupt entry (unreadable JSON, checksum mismatch, wrong embedded
+// key) is counted, deleted, and reported as a miss: the caller
+// recomputes and the next Put heals the cache.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		c.discardCorrupt(key)
+		return nil, false
+	}
+	if env.Key != key || env.Sum != payloadSum(env.Payload) {
+		c.discardCorrupt(key)
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(env.Payload, &e); err != nil {
+		c.discardCorrupt(key)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return &e, true
+}
+
+// discardCorrupt counts and removes a damaged entry, then records the
+// miss the caller observes.
+func (c *Cache) discardCorrupt(key string) {
+	c.corrupt.Add(1)
+	c.misses.Add(1)
+	os.Remove(c.path(key))
+}
+
+// Put stores e under key atomically: the entry is serialized to a
+// temporary file in the destination directory and renamed into place,
+// so a concurrent Get sees either the complete entry or a miss.
+func (c *Cache) Put(key string, e *Entry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	data, err := json.Marshal(envelope{Key: key, Sum: payloadSum(payload), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "put-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	c.stores.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stores:  c.stores.Load(),
+		Corrupt: c.corrupt.Load(),
+	}
+}
+
+// payloadSum is the checksum embedded next to a payload.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// codeVersion memoizes CodeVersion: the binary does not change while
+// the process runs.
+var codeVersion struct {
+	once sync.Once
+	v    string
+}
+
+// CodeVersion identifies the code the current process is running: the
+// SHA-256 of the executable file itself, making the cache key
+// content-addressed all the way down — any rebuild that changes a
+// single byte of the binary invalidates every prior entry, with no
+// version constant to forget to bump. When the executable cannot be
+// read (platform without os.Executable, deleted-while-running), it
+// degrades to a process-unique token, so the cache still works within
+// the process but can never serve a prior process's entries to code it
+// could not identify.
+func CodeVersion() string {
+	codeVersion.once.Do(func() {
+		codeVersion.v = fmt.Sprintf("unversioned-%d-%d", os.Getpid(), time.Now().UnixNano())
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		codeVersion.v = hex.EncodeToString(h.Sum(nil))
+	})
+	return codeVersion.v
+}

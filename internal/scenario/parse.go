@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -187,6 +189,18 @@ func (s *Spec) MarshalINI() []byte {
 		}
 	}
 	return []byte(b.String())
+}
+
+// Fingerprint returns a hex SHA-256 digest of the spec's canonical
+// scenario.ini form. Because the canonical form is a fixed point of
+// marshal∘parse, two specs fingerprint equal exactly when they are the
+// same scenario, regardless of comment or ordering differences in the
+// files they were parsed from. The avsecd result cache folds this into
+// its content address, so editing a scenario invalidates its cached
+// results the same way rebuilding the binary does.
+func (s *Spec) Fingerprint() string {
+	sum := sha256.Sum256(s.MarshalINI())
+	return hex.EncodeToString(sum[:])
 }
 
 // Parse reads a scenario.ini document into a Spec. Unknown sections or

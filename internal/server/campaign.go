@@ -1,0 +1,367 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"autosec/internal/campaign"
+	"autosec/internal/core"
+	"autosec/internal/resultcache"
+	"autosec/internal/sim"
+)
+
+// CampaignRequest is the JSON body of POST /api/v1/campaign. Every
+// field is optional; the zero request runs the full registry at the
+// CLI's default grid (8 consecutive seeds from 42) with the CLI's
+// default recheck fraction, so `curl -d '{}'` and `avsec campaign`
+// describe the same campaign. Unknown fields are rejected.
+type CampaignRequest struct {
+	// IDs selects experiments (registry or scn-* ids); empty means the
+	// whole registry, or the whole corpus when Corpus is set.
+	IDs []string `json:"ids"`
+	// Corpus replaces the default registry grid with every scenario in
+	// the corpus (ids may still be given explicitly alongside).
+	Corpus bool `json:"corpus"`
+	// Seeds lists explicit seeds. Mutually exclusive with
+	// SeedBase/SeedCount.
+	Seeds []int64 `json:"seeds"`
+	// SeedBase and SeedCount describe the CLI's consecutive-seed
+	// schedule: SeedCount seeds starting at SeedBase. Defaults 42 / 8.
+	SeedBase  *int64 `json:"seed_base"`
+	SeedCount *int   `json:"seed_count"`
+	// Jobs bounds this campaign's worker pool: 0 means the server
+	// default (config jobs, itself 0 = GOMAXPROCS). Result bytes never
+	// depend on it.
+	Jobs int `json:"jobs"`
+	// Recheck is the determinism self-check fraction in [0, 1];
+	// nil means the CLI default 0.25.
+	Recheck *float64 `json:"recheck"`
+	// Cache opts this campaign out of the result cache when false;
+	// nil means "use the cache if the server has one".
+	Cache *bool `json:"cache"`
+	// IncludeReports adds each cell's full report text to its stream
+	// event (deterministic, but large).
+	IncludeReports bool `json:"include_reports"`
+	// Timings adds wall-clock and cache-origin fields to the stream.
+	// Like the CLI's -timings flag it is opt-in because it breaks the
+	// byte-identity of otherwise identical campaigns.
+	Timings bool `json:"timings"`
+	// Format selects the response body: "ndjson" (default) streams
+	// one event per line; "text" returns exactly the bytes `avsec
+	// campaign` prints to stdout for the same spec.
+	Format string `json:"format"`
+}
+
+// campaignPlan is a validated, fully-defaulted request.
+type campaignPlan struct {
+	ids     []string
+	seeds   []int64
+	jobs    int
+	recheck float64
+	cache   *resultcache.Cache // nil = don't cache this campaign
+	req     CampaignRequest
+}
+
+// planCampaign validates req against the server's namespaces and fills
+// defaults. All failures are reported before any work starts, so a bad
+// request never occupies the pool.
+func (s *Server) planCampaign(req CampaignRequest) (*campaignPlan, error) {
+	p := &campaignPlan{req: req}
+
+	switch req.Format {
+	case "", "ndjson", "text":
+	default:
+		return nil, fmt.Errorf("format %q is not one of ndjson, text", req.Format)
+	}
+
+	// Experiment selection mirrors `avsec campaign`: explicit ids win;
+	// otherwise the registry, or the corpus under corpus=true.
+	switch {
+	case len(req.IDs) > 0:
+		for _, id := range req.IDs {
+			if _, ok := s.lookupExperiment(id); !ok {
+				msg := fmt.Sprintf("unknown experiment %q", id)
+				if sug := core.SuggestIDs(id, s.allIDs, 3); len(sug) > 0 {
+					msg += fmt.Sprintf(" (did you mean %s?)", strings.Join(sug, ", "))
+				}
+				return nil, fmt.Errorf("%s", msg)
+			}
+		}
+		p.ids = req.IDs
+	case req.Corpus:
+		if len(s.scnList) == 0 {
+			return nil, fmt.Errorf("corpus requested but the server loaded no scenarios (scenario_dir %q)", s.cfg.ScenarioDir)
+		}
+		for _, si := range s.scnList {
+			p.ids = append(p.ids, si.ID)
+		}
+	default:
+		for _, e := range s.registry {
+			p.ids = append(p.ids, e.ID)
+		}
+	}
+
+	// Seed schedule: explicit list, or the consecutive-seed form.
+	switch {
+	case len(req.Seeds) > 0:
+		if req.SeedBase != nil || req.SeedCount != nil {
+			return nil, fmt.Errorf("seeds and seed_base/seed_count are mutually exclusive")
+		}
+		p.seeds = req.Seeds
+	default:
+		base := int64(42)
+		count := 8
+		if req.SeedBase != nil {
+			base = *req.SeedBase
+		}
+		if req.SeedCount != nil {
+			count = *req.SeedCount
+		}
+		if count < 1 {
+			return nil, fmt.Errorf("seed_count must be >= 1, got %d", count)
+		}
+		p.seeds = campaign.Seeds(base, count)
+	}
+
+	if req.Jobs < 0 {
+		return nil, fmt.Errorf("jobs must be >= 0, got %d", req.Jobs)
+	}
+	p.jobs = req.Jobs
+	if p.jobs == 0 {
+		p.jobs = s.cfg.Jobs
+	}
+	if p.jobs == 0 {
+		p.jobs = runtime.GOMAXPROCS(0)
+	}
+
+	p.recheck = 0.25
+	if req.Recheck != nil {
+		p.recheck = *req.Recheck
+	}
+	if p.recheck < 0 || p.recheck > 1 {
+		return nil, fmt.Errorf("recheck fraction %v outside [0, 1]", p.recheck)
+	}
+
+	p.cache = s.cache
+	if req.Cache != nil && !*req.Cache {
+		p.cache = nil
+	}
+	return p, nil
+}
+
+// cellKey identifies one grid cell in the per-campaign bookkeeping.
+type cellKey struct {
+	id   string
+	seed int64
+}
+
+// typedRun adapts the merged experiment namespace to the campaign
+// pool, with the result cache in front: a hit replays the stored
+// report and metric stream (byte-identical to recomputation by the
+// determinism contract); a miss computes through the shared worker
+// pool and stores. origins records, per cell, whether its *first*
+// execution came from cache — the recheck's second call must not
+// overwrite it, so the opt-in timings fields tell the truth about
+// where the primary result came from.
+func (p *campaignPlan) typedRun(s *Server, pool *sim.WorkerPool, origins *sync.Map) campaign.TypedRunFunc {
+	return func(id string, seed int64) (string, []sim.Metric, error) {
+		var key string
+		if p.cache != nil {
+			key = s.cellCacheKey(id, seed)
+			if e, ok := p.cache.Get(key); ok {
+				origins.LoadOrStore(cellKey{id, seed}, true)
+				return e.Report, e.Metrics, nil
+			}
+		}
+		origins.LoadOrStore(cellKey{id, seed}, false)
+		var r *core.RunResult
+		var err error
+		if e, ok := s.scnExps[id]; ok {
+			r, err = core.RunResultOf(e, seed, core.RunOptions{Pool: pool})
+		} else {
+			r, err = core.RunExperimentResult(id, seed, core.RunOptions{Pool: pool})
+		}
+		if err != nil {
+			return "", nil, err
+		}
+		if p.cache != nil {
+			// A failed store only costs the next sweep a recompute.
+			p.cache.Put(key, &resultcache.Entry{Report: r.Report, Metrics: r.Metrics})
+		}
+		return r.Report, r.Metrics, nil
+	}
+}
+
+// Stream event documents. Field order is fixed by the struct layout,
+// which is what makes the NDJSON stream byte-comparable across runs.
+type evCampaign struct {
+	Type        string   `json:"type"` // "campaign"
+	Experiments []string `json:"experiments"`
+	Seeds       []int64  `json:"seeds"`
+	Cells       int      `json:"cells"`
+	Recheck     float64  `json:"recheck"`
+}
+
+type evCell struct {
+	Type    string       `json:"type"` // "cell"
+	ID      string       `json:"id"`
+	Seed    int64        `json:"seed"`
+	Metrics []sim.Metric `json:"metrics"`
+	Report  string       `json:"report,omitempty"`
+	Error   string       `json:"error,omitempty"`
+	// Timings-mode fields; omitted (and the stream byte-identical)
+	// unless the request sets timings.
+	Cached    *bool    `json:"cached,omitempty"`
+	ElapsedMS *float64 `json:"elapsed_ms,omitempty"`
+}
+
+type evSummary struct {
+	Type string `json:"type"` // "summary"
+	Text string `json:"text"`
+}
+
+type evDone struct {
+	Type        string `json:"type"` // "done"
+	Cells       int    `json:"cells"`
+	Rechecked   int    `json:"rechecked"`
+	Divergences int    `json:"divergences"`
+	// Timings-mode fields.
+	CacheHits   *int     `json:"cache_hits,omitempty"`
+	CacheMisses *int     `json:"cache_misses,omitempty"`
+	ElapsedMS   *float64 `json:"elapsed_ms,omitempty"`
+}
+
+type evError struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}
+
+// handleCampaign executes one campaign request. The NDJSON stream
+// emits a campaign header, one cell event per grid cell in grid order
+// (streamed as soon as the cell and its predecessors finish, however
+// the pool schedules them), the aggregate summary — byte-identical to
+// `avsec campaign` stdout for the same spec — and a final done event.
+// The text format skips the events and returns the summary bytes
+// alone.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req CampaignRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "campaign request: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "campaign request: trailing data after the request object")
+		return
+	}
+	plan, err := s.planCampaign(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "campaign request: %v", err)
+		return
+	}
+
+	pool := sim.NewWorkerPool(plan.jobs)
+	var origins sync.Map
+	byID := make(map[string]core.Experiment, len(plan.ids))
+	for _, id := range plan.ids {
+		e, _ := s.lookupExperiment(id)
+		byID[id] = e
+	}
+	spec := campaign.Spec{
+		IDs:      plan.ids,
+		Seeds:    plan.seeds,
+		Jobs:     plan.jobs,
+		Pool:     pool,
+		Recheck:  plan.recheck,
+		RunTyped: plan.typedRun(s, pool, &origins),
+		CostHint: func(id string) int { return byID[id].Cost },
+	}
+
+	if plan.req.Format == "text" {
+		res, runErr := campaign.Run(spec)
+		if runErr != nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusInternalServerError)
+			if res != nil {
+				fmt.Fprint(w, res.RenderSummary())
+			}
+			fmt.Fprintf(w, "campaign failed: %v\n", runErr)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.RenderSummary())
+		return
+	}
+
+	// NDJSON stream. From the first event on, the status line is
+	// committed; failures surface as a terminal error event.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	emit(evCampaign{Type: "campaign", Experiments: plan.ids, Seeds: plan.seeds,
+		Cells: len(plan.ids) * len(plan.seeds), Recheck: plan.recheck})
+	start := time.Now()
+	spec.OnCell = func(c campaign.CellResult) {
+		ev := evCell{Type: "cell", ID: c.ID, Seed: c.Seed, Metrics: c.Metrics}
+		if ev.Metrics == nil {
+			ev.Metrics = []sim.Metric{}
+		}
+		if plan.req.IncludeReports {
+			ev.Report = c.Report
+		}
+		if c.Err != nil {
+			ev.Error = c.Err.Error()
+		}
+		if plan.req.Timings {
+			cached := false
+			if v, ok := origins.Load(cellKey{c.ID, c.Seed}); ok {
+				cached = v.(bool)
+			}
+			ms := float64(c.Elapsed) / float64(time.Millisecond)
+			ev.Cached = &cached
+			ev.ElapsedMS = &ms
+		}
+		emit(ev)
+	}
+	res, runErr := campaign.Run(spec)
+	if res != nil {
+		emit(evSummary{Type: "summary", Text: res.RenderSummary()})
+	}
+	if runErr != nil {
+		emit(evError{Type: "error", Error: runErr.Error()})
+		return
+	}
+	done := evDone{Type: "done", Cells: len(res.Cells),
+		Rechecked: res.Rechecked(), Divergences: res.Divergences()}
+	if plan.req.Timings {
+		hits, misses := 0, 0
+		origins.Range(func(_, v any) bool {
+			if v.(bool) {
+				hits++
+			} else {
+				misses++
+			}
+			return true
+		})
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		done.CacheHits = &hits
+		done.CacheMisses = &misses
+		done.ElapsedMS = &ms
+	}
+	emit(done)
+}

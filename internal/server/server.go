@@ -1,0 +1,219 @@
+// Package server implements the avsecd HTTP service: the fleet-scale,
+// long-running counterpart of the one-shot `avsec` CLI. It accepts
+// campaign specifications over HTTP/JSON, shards their (experiment ×
+// seed) cells and intra-cell replicate loops across worker goroutines
+// through the existing two-level campaign.Spec.Pool budget, streams
+// results back incrementally as NDJSON, and serves repeated sweeps
+// from the content-addressed result cache (internal/resultcache).
+//
+// The daemon inherits the repo's determinism contract wholesale: for
+// the same campaign spec, the streamed cell events, the aggregate
+// summary, and the text-format response are byte-identical at every
+// worker count and on every repetition — whether a cell was computed
+// or served from cache is observable only through the opt-in timings
+// fields and the cache statistics endpoint, never through the result
+// bytes. docs/DAEMON.md is the API reference; the cross-check test in
+// this package extends TestSerialParallelCrossCheck to the
+// HTTP-sharded path.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"autosec/internal/config"
+	"autosec/internal/core"
+	"autosec/internal/resultcache"
+	"autosec/internal/scenario"
+)
+
+// Server is the avsecd HTTP service: the experiment registry, the
+// scenario corpus (loaded once at startup), and the result cache.
+type Server struct {
+	cfg   config.Config
+	cache *resultcache.Cache // nil when disabled
+
+	// Immutable after New: the merged experiment namespace.
+	registry []core.Experiment
+	scnExps  map[string]core.Experiment
+	scnFps   map[string]string // scenario id -> spec fingerprint
+	scnList  []scenarioInfo
+	allIDs   []string // registry order, then scenarios by name
+}
+
+// scenarioInfo is one corpus entry as listed by /api/v1/scenarios.
+type scenarioInfo struct {
+	ID      string `json:"id"`
+	Attack  string `json:"attack"`
+	Title   string `json:"title"`
+	Replica int    `json:"replicates"`
+}
+
+// New builds a server from cfg: it loads and compiles the scenario
+// corpus under cfg.ScenarioDir (a missing directory loads zero
+// scenarios, like the CLI) and opens the result cache unless disabled.
+func New(cfg config.Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: core.Experiments(),
+		scnExps:  make(map[string]core.Experiment),
+		scnFps:   make(map[string]string),
+	}
+	for _, e := range s.registry {
+		s.allIDs = append(s.allIDs, e.ID)
+	}
+	specs, err := scenario.LoadDir(cfg.ScenarioDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: scenario corpus %s: %w", cfg.ScenarioDir, err)
+	}
+	for _, sp := range specs {
+		e, err := scenario.Compile(sp)
+		if err != nil {
+			return nil, fmt.Errorf("server: scenario %s: %w", sp.Name, err)
+		}
+		title := sp.Title
+		if title == "" {
+			title = scenario.AutoTitle(sp)
+		}
+		s.scnExps[e.ID] = e
+		s.scnFps[e.ID] = sp.Fingerprint()
+		s.scnList = append(s.scnList, scenarioInfo{
+			ID: e.ID, Attack: sp.Attacker.Type, Title: title, Replica: sp.Run.Replicates,
+		})
+		s.allIDs = append(s.allIDs, e.ID)
+	}
+	sort.Slice(s.scnList, func(i, j int) bool { return s.scnList[i].ID < s.scnList[j].ID })
+	if !cfg.Cache.Disabled {
+		c, err := resultcache.New(cfg.Cache.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler. It is a plain ServeMux so
+// tests drive it through net/http/httptest and cmd/avsecd mounts it on
+// its listener unchanged.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /api/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /api/v1/cache", s.handleCacheStats)
+	mux.HandleFunc("POST /api/v1/campaign", s.handleCampaign)
+	return mux
+}
+
+// writeJSON renders one indented JSON document. Every non-streaming
+// response goes through it, so the API is uniformly pretty-printed and
+// newline-terminated (curl-friendly).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error document of every non-2xx JSON reply.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleHealth reports liveness plus the identity facts a fleet
+// operator needs to reason about cache reuse: the code version that
+// keys the cache and the namespace sizes.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	doc := struct {
+		Status      string `json:"status"`
+		CodeVersion string `json:"code_version"`
+		Experiments int    `json:"experiments"`
+		Scenarios   int    `json:"scenarios"`
+		Cache       string `json:"cache"`
+	}{
+		Status:      "ok",
+		CodeVersion: resultcache.CodeVersion(),
+		Experiments: len(s.registry),
+		Scenarios:   len(s.scnList),
+		Cache:       "disabled",
+	}
+	if s.cache != nil {
+		doc.Cache = s.cache.Dir()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleExperiments lists the registry in paper order.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type info struct {
+		ID     string `json:"id"`
+		Source string `json:"source"`
+		Title  string `json:"title"`
+	}
+	out := make([]info, 0, len(s.registry))
+	for _, e := range s.registry {
+		out = append(out, info{ID: e.ID, Source: e.Source, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleScenarios lists the compiled corpus in name order.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	out := s.scnList
+	if out == nil {
+		out = []scenarioInfo{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCacheStats reports the result-cache counters; this endpoint —
+// not the campaign stream — is how callers observe whether a sweep was
+// served from cache, because the stream itself must stay byte-identical
+// across recomputation and replay.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	doc := struct {
+		Enabled bool              `json:"enabled"`
+		Dir     string            `json:"dir,omitempty"`
+		Stats   resultcache.Stats `json:"stats"`
+	}{}
+	if s.cache != nil {
+		doc.Enabled = true
+		doc.Dir = s.cache.Dir()
+		doc.Stats = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// lookupExperiment resolves an id against the merged namespace.
+func (s *Server) lookupExperiment(id string) (core.Experiment, bool) {
+	for _, e := range s.registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	e, ok := s.scnExps[id]
+	return e, ok
+}
+
+// cellCacheKey is the content address of one (experiment, seed) cell:
+// the cache scheme version, the running binary's content hash, the
+// experiment id, the seed, and — for DSL scenarios — the canonical
+// spec fingerprint, so an edited scenario.ini can never be served a
+// stale result. Registry experiments have no spec beyond the binary,
+// so their fingerprint part is empty.
+func (s *Server) cellCacheKey(id string, seed int64) string {
+	return resultcache.Key("avsecd-cell", "1", resultcache.CodeVersion(),
+		id, strconv.FormatInt(seed, 10), s.scnFps[id])
+}

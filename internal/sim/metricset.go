@@ -117,6 +117,23 @@ func WriteMetricsCSV(w io.Writer, metrics []Metric) error {
 	return nil
 }
 
+// MetricsEqual reports exact equality of two metric streams — same
+// names, same order, bit-identical values. The determinism contract
+// promises bit-identical metrics, not approximate ones, so this is the
+// one shared definition of "the same stream" used by the campaign
+// recheck, the result cache, and the daemon cross-checks.
+func MetricsEqual(a, b []Metric) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // FormatJSONNumber renders v the way encoding/json does, so CSV and
 // JSON exports of the same metric are textually consistent.
 func FormatJSONNumber(v float64) string {

@@ -63,11 +63,30 @@ func RunAblateMAC(rc *RunContext) (string, error) {
 				if c < attempts%chunks {
 					n++
 				}
-				forgery := append([]byte(nil), base...)
-				for i := 0; i < n; i++ {
-					r.Bytes(forgery[len(forgery)-bits/8:])
-					if _, err := recv.Verify(forgery); err == nil {
-						perChunk[c]++
+				// Forgeries go through the batched verify path: each
+				// burst's tags are drawn first, in the serial draw order
+				// (Verify consumes no randomness, so the RNG stream is
+				// unchanged), then verified in one VerifyBatch call,
+				// which SECOC turns into pipelined CMAC kernel calls.
+				const burst = 256
+				forgeries := make([][]byte, burst)
+				for i := range forgeries {
+					forgeries[i] = append([]byte(nil), base...)
+				}
+				var verdicts []secchan.Verdict
+				for i := 0; i < n; i += burst {
+					m := burst
+					if n-i < m {
+						m = n - i
+					}
+					for j := 0; j < m; j++ {
+						r.Bytes(forgeries[j][len(base)-bits/8:])
+					}
+					verdicts = secchan.VerifyBatch(recv, forgeries[:m], verdicts)
+					for j := range verdicts {
+						if verdicts[j].Err == nil {
+							perChunk[c]++
+						}
 					}
 				}
 				return nil

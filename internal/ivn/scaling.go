@@ -50,11 +50,13 @@ func Scaling(n, payloadBytes int) ([]ScalingRow, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		wire, err := s.Protect(payload)
+		// Batch entry point: dispatches to the suite's native batched
+		// fast path, byte-identical to Protect.
+		wires, err := secchan.ProtectBatch(s, [][]byte{payload}, nil)
 		if err != nil {
 			return 0, nil, err
 		}
-		return len(wire) - len(payload), wire, nil
+		return len(wires[0]) - len(payload), wires[0], nil
 	}
 
 	secocOverhead, _, err := measure("SECOC", secocKey)

@@ -1,0 +1,136 @@
+package macsec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"autosec/internal/ethernet"
+	"autosec/internal/vcrypto"
+)
+
+// Allocation-free SecY fast paths for batch processing. The single
+// frame Protect/Verify build a SecTAG slice, an AAD slice, an inner
+// frame, and an output frame per call; at Table I's frame rates those
+// allocations dominate the non-crypto cost. ProtectPayload and
+// VerifyPayload perform the same protocol steps — same PN movement,
+// same replay discipline, same errors — but assemble everything in the
+// SecY's scratch and the caller's destination buffer. The secchan suite
+// adapter drives them per batch; the frame-based Protect/Verify remain
+// the general API.
+
+// appendMarshal appends the SecTAG wire form to dst (the allocation-free
+// form of marshal).
+func (t *SecTAG) appendMarshal(dst []byte) []byte {
+	var buf [secTAGLen]byte
+	flags := t.AN & 0x03
+	if t.Enc {
+		flags |= 0x08
+	}
+	buf[0] = flags
+	binary.BigEndian.PutUint32(buf[2:6], t.PN)
+	binary.BigEndian.PutUint64(buf[6:14], t.SCI)
+	return append(dst, buf[:]...)
+}
+
+// appendAAD appends the associated data (MACs ‖ SecTAG) to dst, the
+// allocation-free form of buildAAD.
+func appendAAD(dst []byte, dstMAC, srcMAC ethernet.MAC, tag *SecTAG) []byte {
+	dst = append(dst, dstMAC[:]...)
+	dst = append(dst, srcMAC[:]...)
+	return tag.appendMarshal(dst)
+}
+
+// ProtectPayload protects f exactly as Protect does but returns only
+// the MACsec frame payload (SecTAG ‖ body), built in dst's backing
+// array. The emitted bytes, PN consumption, and errors are identical to
+// Protect's.
+func (s *SecY) ProtectPayload(dst []byte, f *ethernet.Frame) ([]byte, error) {
+	if s.nexPN == 0 {
+		return nil, fmt.Errorf("macsec: transmit PN exhausted; rekey required")
+	}
+	tag := SecTAG{AN: s.an, PN: s.nexPN, SCI: s.sci, Enc: s.mode == Confidential}
+	s.nexPN++
+
+	inner := s.innerBuf[:0]
+	var et [2]byte
+	binary.BigEndian.PutUint16(et[:], f.EtherType)
+	inner = append(append(inner, et[:]...), f.Payload...)
+	s.innerBuf = inner[:0]
+
+	aad := appendAAD(s.aadBuf[:0], f.Dst, f.Src, &tag)
+	s.aadBuf = aad[:0]
+
+	out := tag.appendMarshal(dst[:0])
+	var err error
+	if s.mode == Confidential {
+		out, err = vcrypto.GCMSealInto(out, s.sak, tag.SCI, tag.PN, aad, inner)
+	} else {
+		msg := append(append(s.msgBuf[:0], aad...), inner...)
+		s.msgBuf = msg[:0]
+		out = append(out, inner...)
+		out, err = vcrypto.GCMTagInto(out, s.sak, tag.SCI, tag.PN, msg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Protect validates the wrapped frame; only the payload size check
+	// can fire, and only for oversized input (cold path).
+	if len(out) > ethernet.MaxPayload {
+		bad := ethernet.Frame{EtherType: ethernet.EtherTypeMACsec, Payload: out}
+		return nil, bad.Validate()
+	}
+	return out, nil
+}
+
+// VerifyPayload verifies one MACsec frame payload (wire) received on a
+// frame addressed dstMAC←srcMAC with the MACsec EtherType, appending
+// the restored inner payload (what follows the inner EtherType) to dst.
+// Replay discipline, highPN movement, and errors are identical to
+// Verify's.
+func (s *SecY) VerifyPayload(dst []byte, dstMAC, srcMAC ethernet.MAC, wire []byte) ([]byte, error) {
+	var tag SecTAG
+	if err := parseSecTAGInto(wire, &tag); err != nil {
+		return nil, err
+	}
+	ch, ok := s.peers[tag.SCI]
+	if !ok {
+		return nil, fmt.Errorf("macsec: unknown SCI %#x", tag.SCI)
+	}
+	if tag.AN != ch.an {
+		return nil, fmt.Errorf("macsec: association number %d, expected %d", tag.AN, ch.an)
+	}
+	if !s.pnAcceptable(ch, tag.PN) {
+		return nil, fmt.Errorf("macsec: replay: PN %d not above %d (window %d)", tag.PN, ch.highPN, s.ReplayWindow)
+	}
+
+	body := wire[secTAGLen:]
+	aad := appendAAD(s.aadBuf[:0], dstMAC, srcMAC, &tag)
+	s.aadBuf = aad[:0]
+	var inner []byte
+	if tag.Enc {
+		opened, err := vcrypto.GCMOpenInto(s.innerBuf[:0], ch.sak, tag.SCI, tag.PN, aad, body)
+		if err != nil {
+			return nil, err
+		}
+		inner = opened
+		s.innerBuf = inner[:0]
+	} else {
+		if len(body) < icvLen {
+			return nil, fmt.Errorf("macsec: short integrity frame")
+		}
+		inner = body[:len(body)-icvLen]
+		icv := body[len(body)-icvLen:]
+		msg := append(append(s.msgBuf[:0], aad...), inner...)
+		s.msgBuf = msg[:0]
+		if !vcrypto.GCMVerifyTag(ch.sak, tag.SCI, tag.PN, msg, icv) {
+			return nil, fmt.Errorf("macsec: ICV verification failed")
+		}
+	}
+	if len(inner) < 2 {
+		return nil, fmt.Errorf("macsec: inner frame too short")
+	}
+	if tag.PN > ch.highPN {
+		ch.highPN = tag.PN
+	}
+	return append(dst, inner[2:]...), nil
+}

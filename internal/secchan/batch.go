@@ -1,0 +1,104 @@
+package secchan
+
+// Batched secure-channel fast path. The per-frame experiments (Table I,
+// the fig4-6 IVN overhead curves, the MAC ablation's forgery sweeps)
+// are millions of Protect/Verify calls; batching amortizes the per-call
+// fixed costs — key-state lookup, stats updates, header/tag scratch —
+// across N frames and lets suites reach kernels that only pay off in
+// bulk (the AES-NI batched CMAC in vcrypto pipelines 8 MAC chains per
+// call).
+//
+// The contract is strict serial equivalence, byte for byte: a suite's
+// ProtectBatch must produce exactly the wires, stats, and first-error
+// behaviour of calling Protect in a loop, and VerifyBatch exactly the
+// verdicts and receiver-state transitions of calling Verify in wire
+// order. Batching is therefore invisible in every golden output; the
+// differential fuzzers in secchan/suites and the stats-identity tests
+// enforce it.
+
+// Verdict is one frame's VerifyBatch outcome: the authenticated payload
+// or the error the single-frame Verify would have returned. A batch
+// implementation may build Payload in the caller's existing backing
+// array (verdicts are caller-owned scratch), so a payload is valid
+// until its Verdict slot is reused.
+type Verdict struct {
+	Payload []byte
+	Err     error
+}
+
+// BatchSuite is optionally implemented by suites with a native batched
+// fast path. Third-party suites that only implement Suite keep working:
+// the package-level ProtectBatch/VerifyBatch helpers fall back to a
+// frame-at-a-time loop with identical semantics.
+type BatchSuite interface {
+	Suite
+	// ProtectBatch protects payloads in order. dst is optional reusable
+	// backing: when len(dst) >= len(payloads), wire i is built in
+	// dst[i][:0], so a warmed dst makes the protect path
+	// allocation-free. It returns the protected wires (resliced dst
+	// elements or fresh buffers) and stops at the first error exactly
+	// as a Protect loop would, returning the wires protected so far.
+	ProtectBatch(payloads, dst [][]byte) ([][]byte, error)
+	// VerifyBatch verifies wires in order, writing one Verdict per
+	// frame into verdicts (grown as needed) and returning the used
+	// prefix. Frame errors are per-verdict, never batch-fatal, and
+	// receiver state advances exactly as a Verify loop would.
+	VerifyBatch(wires [][]byte, verdicts []Verdict) []Verdict
+}
+
+// ProtectBatch protects payloads through s, taking the suite's native
+// batch path when it implements BatchSuite and an equivalent
+// frame-at-a-time loop otherwise. See BatchSuite.ProtectBatch for the
+// dst and error contract.
+func ProtectBatch(s Suite, payloads, dst [][]byte) ([][]byte, error) {
+	if bs, ok := s.(BatchSuite); ok {
+		return bs.ProtectBatch(payloads, dst)
+	}
+	out := SizeWires(dst, len(payloads))
+	for i, p := range payloads {
+		wire, err := s.Protect(p)
+		if err != nil {
+			return out[:i], err
+		}
+		out[i] = wire
+	}
+	return out, nil
+}
+
+// VerifyBatch verifies wires through s, taking the suite's native batch
+// path when it implements BatchSuite and an equivalent frame-at-a-time
+// loop otherwise. See BatchSuite.VerifyBatch for the verdict contract.
+func VerifyBatch(s Suite, wires [][]byte, verdicts []Verdict) []Verdict {
+	if bs, ok := s.(BatchSuite); ok {
+		return bs.VerifyBatch(wires, verdicts)
+	}
+	verdicts = SizeVerdicts(verdicts, len(wires))
+	for i, w := range wires {
+		verdicts[i].Payload, verdicts[i].Err = s.Verify(w)
+	}
+	return verdicts
+}
+
+// SizeWires reslices dst to n elements, reallocating only when the
+// backing array is too small — the reuse that keeps warmed batch
+// protect paths allocation-free.
+func SizeWires(dst [][]byte, n int) [][]byte {
+	if cap(dst) < n {
+		grown := make([][]byte, n)
+		copy(grown, dst[:cap(dst)])
+		return grown
+	}
+	return dst[:n]
+}
+
+// SizeVerdicts reslices verdicts to n elements, reallocating only when
+// the backing array is too small. Existing payload backings survive the
+// reslice, so batch verify paths can append into them.
+func SizeVerdicts(verdicts []Verdict, n int) []Verdict {
+	if cap(verdicts) < n {
+		grown := make([]Verdict, n)
+		copy(grown, verdicts[:cap(verdicts)])
+		return grown
+	}
+	return verdicts[:n]
+}

@@ -1,0 +1,198 @@
+package secchan
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCheckBatchMatchesCheck drives random window states and bursts,
+// requiring CheckBatch to agree with a serial Check loop (no marks —
+// the screening semantics CheckBatch documents).
+func TestCheckBatchMatchesCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		w := &Window{Size: uint32(rng.Intn(80))}
+		for i := 0; i < rng.Intn(40); i++ {
+			w.Mark(uint64(rng.Intn(200)) + 1)
+		}
+		seqs := make([]uint64, rng.Intn(33))
+		for i := range seqs {
+			seqs[i] = uint64(rng.Intn(260)) // includes 0 and out-of-window
+		}
+		ok := make([]bool, len(seqs))
+		w.CheckBatch(seqs, ok)
+		for i, seq := range seqs {
+			if want := w.Check(seq); ok[i] != want {
+				t.Fatalf("trial %d: seq %d: batch %v, serial %v (high %d)", trial, seq, ok[i], want, w.High())
+			}
+		}
+	}
+}
+
+// TestMarkBatchMatchesMark folds random bursts through MarkBatch and a
+// serial Mark loop on a twin window, comparing the full state via
+// subsequent Checks.
+func TestMarkBatchMatchesMark(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a := &Window{Size: 64}
+		b := &Window{Size: 64}
+		seqs := make([]uint64, 1+rng.Intn(32))
+		for i := range seqs {
+			seqs[i] = uint64(rng.Intn(300)) + 1
+		}
+		a.MarkBatch(seqs)
+		for _, s := range seqs {
+			b.Mark(s)
+		}
+		if a.High() != b.High() {
+			t.Fatalf("trial %d: high %d vs %d", trial, a.High(), b.High())
+		}
+		for probe := uint64(1); probe <= 310; probe++ {
+			if a.Check(probe) != b.Check(probe) {
+				t.Fatalf("trial %d: probe %d diverges after %v", trial, probe, seqs)
+			}
+		}
+	}
+}
+
+func TestAscendingAbove(t *testing.T) {
+	cases := []struct {
+		high uint64
+		seqs []uint64
+		want bool
+	}{
+		{0, nil, true},
+		{0, []uint64{1, 2, 3}, true},
+		{5, []uint64{6, 7, 9}, true},
+		{5, []uint64{5, 6}, false}, // not above high
+		{5, []uint64{7, 7}, false}, // duplicate
+		{5, []uint64{8, 6}, false}, // reordered
+		{5, []uint64{6, 0}, false}, // zero after
+		{^uint64(0), []uint64{1}, false},
+	}
+	for _, c := range cases {
+		if got := AscendingAbove(c.high, c.seqs); got != c.want {
+			t.Errorf("AscendingAbove(%d, %v) = %v, want %v", c.high, c.seqs, got, c.want)
+		}
+	}
+}
+
+// TestFirstCandidateAfterMatchesIterator compares the O(1) predictor
+// against the scanning iterator across bit widths, windows, and last
+// values, including the window edges.
+func TestFirstCandidateAfterMatchesIterator(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		bits := 1 + rng.Intn(16)
+		f := &Freshness{Bits: bits, Window: uint64(rng.Intn(300))}
+		f.last = uint64(rng.Intn(1 << 18))
+		trunc := uint64(rng.Intn(1 << bits))
+
+		it := f.Candidates(trunc)
+		wantV, wantOK := uint64(0), it.Next()
+		if wantOK {
+			wantV = it.Value()
+		}
+		gotV, gotOK := f.FirstCandidateAfter(f.last, trunc)
+		if gotOK != wantOK || (wantOK && gotV != wantV) {
+			t.Fatalf("bits=%d window=%d last=%d trunc=%d: predictor (%d,%v), iterator (%d,%v)",
+				bits, f.Window, f.last, trunc, gotV, gotOK, wantV, wantOK)
+		}
+	}
+	// 64-bit truncation sends the full counter on the wire.
+	f := &Freshness{Bits: 64, Window: 10}
+	f.last = 100
+	if v, ok := f.FirstCandidateAfter(100, 105); !ok || v != 105 {
+		t.Fatalf("full-width candidate: got %d,%v", v, ok)
+	}
+	if _, ok := f.FirstCandidateAfter(100, 90); ok {
+		t.Fatal("stale full-width counter must have no candidate")
+	}
+	if _, ok := f.FirstCandidateAfter(100, 200); ok {
+		t.Fatal("out-of-window full-width counter must have no candidate")
+	}
+}
+
+// loopSuite is a minimal third-party Suite (no BatchSuite) used to
+// exercise the generic adapters.
+type loopSuite struct {
+	stats   Stats
+	counter uint64
+	failAt  uint64 // Protect fails when counter reaches this
+}
+
+func (l *loopSuite) Name() string           { return "loop" }
+func (l *loopSuite) Layer() string          { return "7 application" }
+func (l *loopSuite) Media() string          { return "test" }
+func (l *loopSuite) OverheadBytes() int     { return 1 }
+func (l *loopSuite) Properties() Properties { return Properties{Auth: true} }
+func (l *loopSuite) Stats() *Stats          { return &l.stats }
+
+func (l *loopSuite) Protect(payload []byte) ([]byte, error) {
+	l.counter++
+	if l.failAt != 0 && l.counter >= l.failAt {
+		return nil, errors.New("loop: exhausted")
+	}
+	wire := append(append([]byte(nil), payload...), byte(l.counter))
+	l.stats.RecordProtect(len(payload), len(wire))
+	return wire, nil
+}
+
+func (l *loopSuite) Verify(wire []byte) ([]byte, error) {
+	if len(wire) == 0 || wire[len(wire)-1] == 0 {
+		l.stats.RecordVerify(false)
+		return nil, errors.New("loop: bad frame")
+	}
+	l.stats.RecordVerify(true)
+	return wire[:len(wire)-1], nil
+}
+
+// TestGenericBatchAdapters checks the frame-at-a-time fallback: wires
+// and verdicts equal the serial loop, and a mid-batch Protect error
+// stops the batch with the already-protected prefix.
+func TestGenericBatchAdapters(t *testing.T) {
+	payloads := [][]byte{{1}, {2}, {3}, {4}}
+
+	s := &loopSuite{}
+	wires, err := ProtectBatch(s, payloads, nil)
+	if err != nil || len(wires) != 4 {
+		t.Fatalf("ProtectBatch: %v (%d wires)", err, len(wires))
+	}
+	ref := &loopSuite{}
+	for i, p := range payloads {
+		want, _ := ref.Protect(p)
+		if fmt.Sprint(want) != fmt.Sprint(wires[i]) {
+			t.Fatalf("wire %d: batch %v, serial %v", i, wires[i], want)
+		}
+	}
+
+	bad := append([][]byte{}, wires...)
+	bad[2] = []byte{9, 0} // trailing zero fails Verify
+	verdicts := VerifyBatch(s, bad, nil)
+	if len(verdicts) != 4 {
+		t.Fatalf("got %d verdicts", len(verdicts))
+	}
+	for i, v := range verdicts {
+		if (v.Err == nil) != (i != 2) {
+			t.Fatalf("verdict %d: err=%v", i, v.Err)
+		}
+	}
+	if s.stats.Verified != 3 || s.stats.VerifyFailed != 1 {
+		t.Fatalf("stats: %+v", s.stats)
+	}
+
+	failing := &loopSuite{failAt: 3}
+	wires, err = ProtectBatch(failing, payloads, nil)
+	if err == nil {
+		t.Fatal("want mid-batch protect error")
+	}
+	if len(wires) != 2 {
+		t.Fatalf("want 2 protected frames before the error, got %d", len(wires))
+	}
+	if failing.stats.Protected != 2 {
+		t.Fatalf("stats counted %d protects", failing.stats.Protected)
+	}
+}

@@ -100,3 +100,34 @@ func (c *Candidates) Commit() { c.f.last = c.cur }
 
 // Last returns the last authenticated full freshness value.
 func (f *Freshness) Last() uint64 { return f.last }
+
+// FirstCandidateAfter computes, in O(1), the first candidate the
+// search would try from an arbitrary last value: the smallest v in
+// (last, last+Window] with v's low Bits equal to trunc. It exists for
+// optimistic batch verify paths, which predict each frame's winning
+// candidate ahead of the serial walk (for an in-order stream the first
+// candidate is the real counter) and pre-compute the MACs in bulk; the
+// serial walk then only spends crypto on frames whose prediction
+// missed. Near counter wrap (where last+Window would overflow) it
+// reports no candidate, matching Reconstruct's empty search range.
+func (f *Freshness) FirstCandidateAfter(last, trunc uint64) (uint64, bool) {
+	mask := f.Mask()
+	trunc &= mask
+	end := last + f.Window
+	if end < last || last+1 == 0 {
+		return 0, false
+	}
+	base := last + 1
+	cand := base&^mask | trunc
+	if cand < base {
+		next, carry := cand+mask+1, mask == ^uint64(0)
+		if carry || next < cand {
+			return 0, false
+		}
+		cand = next
+	}
+	if cand > end {
+		return 0, false
+	}
+	return cand, true
+}

@@ -1,0 +1,223 @@
+package suites
+
+import (
+	"bytes"
+	"testing"
+
+	"autosec/internal/secchan"
+	"autosec/internal/sim"
+)
+
+// batchEntries returns every suite with a native batch path, including
+// the integrity-only MACsec variant that is not a registry row.
+func batchEntries() []secchan.Entry {
+	entries := append(secchan.Registry{}, Registry()...)
+	integ := macsecMeta
+	integ.Name = "MACsec-integ"
+	integ.Props.Conf = false
+	integ.New = NewMACsecIntegrityOnly
+	return append(entries, integ)
+}
+
+// newTwin builds two identically-keyed instances of a suite: one driven
+// through the batch APIs, one through the single-frame APIs, so tests
+// can require byte- and stats-identical behaviour.
+func newTwin(t *testing.T, e secchan.Entry) (batch, serial secchan.Suite) {
+	t.Helper()
+	b, err := e.New(secchan.Params{Key: testKey, RNG: sim.NewRNG(7)})
+	if err != nil {
+		t.Fatalf("%s: New: %v", e.Name, err)
+	}
+	s, err := e.New(secchan.Params{Key: testKey, RNG: sim.NewRNG(7)})
+	if err != nil {
+		t.Fatalf("%s: New: %v", e.Name, err)
+	}
+	return b, s
+}
+
+// TestBatchMatchesSingleFrame drives every native batch suite and its
+// single-frame twin through the same traffic — honest frames, a
+// corrupted frame, a truncated frame, and a replayed frame mid-batch —
+// and requires identical wires, per-frame verdicts, payloads, and
+// Stats. This is the serial-equivalence contract of secchan/batch.go,
+// including the error frames.
+func TestBatchMatchesSingleFrame(t *testing.T) {
+	for _, e := range batchEntries() {
+		t.Run(e.Name, func(t *testing.T) {
+			bs, ss := newTwin(t, e)
+
+			payloads := [][]byte{
+				{1, 2, 3, 4}, {}, {5}, bytes.Repeat([]byte{0xA5}, 64),
+				{9, 8, 7}, bytes.Repeat([]byte{0x11}, 200),
+			}
+			wires, err := secchan.ProtectBatch(bs, payloads, nil)
+			if err != nil {
+				t.Fatalf("ProtectBatch: %v", err)
+			}
+			serialWires := make([][]byte, len(payloads))
+			for i, p := range payloads {
+				serialWires[i], err = ss.Protect(p)
+				if err != nil {
+					t.Fatalf("Protect #%d: %v", i, err)
+				}
+				if !bytes.Equal(wires[i], serialWires[i]) {
+					t.Fatalf("wire %d: batch %x, serial %x", i, wires[i], serialWires[i])
+				}
+			}
+
+			// Mixed delivery: in-order frames with a corrupted MAC, a
+			// truncated frame, and a replay in the middle.
+			corrupt := append([]byte(nil), wires[1]...)
+			corrupt[len(corrupt)-1] ^= 0xFF
+			delivery := [][]byte{
+				wires[0], corrupt, wires[1], wires[0], // wires[0] again = replay
+				wires[2][:1], wires[3], wires[4], wires[5],
+			}
+			verdicts := secchan.VerifyBatch(bs, delivery, nil)
+			if len(verdicts) != len(delivery) {
+				t.Fatalf("got %d verdicts for %d wires", len(verdicts), len(delivery))
+			}
+			for i, w := range delivery {
+				pt, serr := ss.Verify(w)
+				if gotOK, wantOK := verdicts[i].Err == nil, serr == nil; gotOK != wantOK {
+					t.Fatalf("frame %d: batch err=%v, serial err=%v", i, verdicts[i].Err, serr)
+				}
+				if serr == nil && !bytes.Equal(verdicts[i].Payload, pt) {
+					t.Fatalf("frame %d payload: batch %x, serial %x", i, verdicts[i].Payload, pt)
+				}
+			}
+			if *bs.Stats() != *ss.Stats() {
+				t.Fatalf("stats diverge:\nbatch  %+v\nserial %+v", *bs.Stats(), *ss.Stats())
+			}
+
+			// Warmed-buffer second round must stay byte-identical.
+			wires2, err := secchan.ProtectBatch(bs, payloads, wires)
+			if err != nil {
+				t.Fatalf("warmed ProtectBatch: %v", err)
+			}
+			for i, p := range payloads {
+				want, err := ss.Protect(p)
+				if err != nil {
+					t.Fatalf("Protect round 2 #%d: %v", i, err)
+				}
+				if !bytes.Equal(wires2[i], want) {
+					t.Fatalf("warmed wire %d: batch %x, serial %x", i, wires2[i], want)
+				}
+			}
+			if *bs.Stats() != *ss.Stats() {
+				t.Fatalf("stats diverge after warmed round:\nbatch  %+v\nserial %+v", *bs.Stats(), *ss.Stats())
+			}
+		})
+	}
+}
+
+// TestProtectBatchZeroAlloc pins the batch protect path's steady-state
+// allocation behaviour: once the suite scratch and the caller's wire
+// buffers have grown to size, protecting a burst must not allocate at
+// all, for every native batch suite.
+func TestProtectBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool deliberately drops items under the race detector, so the nonce pool allocates")
+	}
+	for _, e := range batchEntries() {
+		t.Run(e.Name, func(t *testing.T) {
+			s, err := e.New(secchan.Params{Key: testKey, RNG: sim.NewRNG(7)})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			payloads := make([][]byte, 64)
+			for i := range payloads {
+				payloads[i] = bytes.Repeat([]byte{byte(i)}, 64)
+			}
+			var wires [][]byte
+			wires, err = secchan.ProtectBatch(s, payloads, wires)
+			if err != nil {
+				t.Fatalf("warmup ProtectBatch: %v", err)
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				wires, err = secchan.ProtectBatch(s, payloads, wires)
+			})
+			if err != nil {
+				t.Fatalf("ProtectBatch: %v", err)
+			}
+			if avg != 0 {
+				t.Fatalf("warmed ProtectBatch allocates %.2f times per burst, want 0", avg)
+			}
+		})
+	}
+}
+
+// FuzzBatchVerifyEquivalence differentially fuzzes every suite's native
+// batch path against its single-frame twin: the fuzzer picks a delivery
+// schedule over protected frames — reorderings, duplicates, corruptions
+// — and an arbitrary batch segmentation, and the batched verdicts,
+// payloads, and Stats must equal the serial loop's. Wired into the CI
+// fuzz-smoke job.
+func FuzzBatchVerifyEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Add([]byte{5, 3, 4, 1, 2})
+	f.Add([]byte{0x80, 1, 0x82, 3, 4})  // corruptions mixed in
+	f.Add([]byte{0, 90, 1, 91, 2, 255}) // window jumps
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, e := range batchEntries() {
+			bs, ss := newTwin(t, e)
+			const maxSeq = 96
+			payloads := make([][]byte, maxSeq)
+			for i := range payloads {
+				payloads[i] = []byte{byte(i), byte(i >> 8)}
+			}
+			wires, err := secchan.ProtectBatch(bs, payloads, nil)
+			if err != nil {
+				t.Fatalf("%s: ProtectBatch: %v", e.Name, err)
+			}
+			for i, p := range payloads {
+				want, err := ss.Protect(p)
+				if err != nil {
+					t.Fatalf("%s: Protect #%d: %v", e.Name, i, err)
+				}
+				if !bytes.Equal(wires[i], want) {
+					t.Fatalf("%s: wire %d: batch %x, serial %x", e.Name, i, wires[i], want)
+				}
+			}
+
+			// Decode deliveries: low bits pick the frame, the high bit
+			// corrupts a copy of it.
+			delivery := make([][]byte, 0, len(data))
+			for _, b := range data {
+				w := wires[int(b&0x7F)%maxSeq]
+				if b&0x80 != 0 {
+					c := append([]byte(nil), w...)
+					c[len(c)-1] ^= 0x55
+					w = c
+				}
+				delivery = append(delivery, w)
+			}
+			// Arbitrary batch segmentation, sizes cycling with the data.
+			var verdicts []secchan.Verdict
+			for start, k := 0, 0; start < len(delivery); k++ {
+				size := 1 + (int(data[k%len(data)])+k)%7
+				endAt := start + size
+				if endAt > len(delivery) {
+					endAt = len(delivery)
+				}
+				chunk := delivery[start:endAt]
+				verdicts = secchan.VerifyBatch(bs, chunk, verdicts)
+				for i, w := range chunk {
+					pt, serr := ss.Verify(w)
+					if gotOK, wantOK := verdicts[i].Err == nil, serr == nil; gotOK != wantOK {
+						t.Fatalf("%s: frame %d: batch err=%v, serial err=%v",
+							e.Name, start+i, verdicts[i].Err, serr)
+					}
+					if serr == nil && !bytes.Equal(verdicts[i].Payload, pt) {
+						t.Fatalf("%s: frame %d payload mismatch", e.Name, start+i)
+					}
+				}
+				start = endAt
+			}
+			if *bs.Stats() != *ss.Stats() {
+				t.Fatalf("%s: stats diverge:\nbatch  %+v\nserial %+v", e.Name, *bs.Stats(), *ss.Stats())
+			}
+		}
+	})
+}

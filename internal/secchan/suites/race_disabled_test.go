@@ -1,0 +1,7 @@
+//go:build !race
+
+package suites
+
+// raceEnabled reports whether the race detector is active; see
+// TestProtectBatchZeroAlloc.
+const raceEnabled = false

@@ -56,10 +56,11 @@ func (c Config) Overhead() int { return c.FreshnessBits/8 + c.MACBits/8 }
 // Sender protects outgoing PDUs. Not safe for concurrent use (each
 // stream belongs to one simulated ECU task).
 type Sender struct {
-	cfg Config
-	key []byte
-	fv  uint64 // full monotonic freshness counter
-	mac macScratch
+	cfg   Config
+	key   []byte
+	fv    uint64 // full monotonic freshness counter
+	mac   macScratch
+	batch batchScratch
 }
 
 // NewSender creates a protecting endpoint.
@@ -100,6 +101,7 @@ type Receiver struct {
 	key   []byte
 	fresh secchan.Freshness
 	mac   macScratch
+	batch batchScratch
 }
 
 // NewReceiver creates a verifying endpoint.

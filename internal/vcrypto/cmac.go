@@ -21,11 +21,25 @@ import (
 )
 
 // cmacState is the per-key precomputation of CMAC: the expanded AES key
-// schedule and the RFC 4493 §2.3 subkeys.
+// schedule and the RFC 4493 §2.3 subkeys. For 128-bit keys on AES-NI
+// hardware it also carries the raw round keys the batched assembly
+// kernel consumes (rkOK), since cipher.Block does not expose its
+// schedule.
 type cmacState struct {
 	block  cipher.Block
 	k1, k2 [16]byte
+	rk     [176]byte
+	rkOK   bool
 }
+
+// cmacCacheCap bounds the per-key state cache. Long-lived processes —
+// an avsecd serving many scenario fingerprints — mint a fresh session
+// key per campaign cell, and an unbounded map would retain every key
+// schedule ever seen. When the cap is hit the whole map is dropped: the
+// eviction is O(1), needs no access bookkeeping on the hot lookup, and
+// the active keys simply re-expand on their next use (a re-derivable
+// cache, so flushing changes no output bytes).
+const cmacCacheCap = 256
 
 // cmacCache memoizes cmacState per key. Protocol simulations MAC
 // thousands of frames under a handful of session keys, so the AES key
@@ -54,14 +68,28 @@ func cmacStateFor(key []byte) (*cmacState, error) {
 	block.Encrypt(l[:], l[:])
 	st.k1 = dbl(l)
 	st.k2 = dbl(st.k1)
+	if haveCMACAsm && len(key) == 16 {
+		expandAES128(key, &st.rk)
+		st.rkOK = true
+	}
 	cmacMu.Lock()
 	if exist, ok := cmacCache[string(key)]; ok {
 		st = exist
 	} else {
+		if len(cmacCache) >= cmacCacheCap {
+			cmacCache = make(map[string]*cmacState, cmacCacheCap)
+		}
 		cmacCache[string(key)] = st
 	}
 	cmacMu.Unlock()
 	return st, nil
+}
+
+// cmacCacheLen exposes the live entry count (cache-bound tests).
+func cmacCacheLen() int {
+	cmacMu.RLock()
+	defer cmacMu.RUnlock()
+	return len(cmacCache)
 }
 
 // cmacBufPool recycles the chaining/output buffer pair. The slices

@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // GCMSeal encrypts and authenticates plaintext with AES-GCM under key,
@@ -13,23 +14,45 @@ import (
 // aad is additionally authenticated but not encrypted. The returned
 // slice is ciphertext||tag (16-byte tag).
 func GCMSeal(key []byte, sci uint64, pn uint32, aad, plaintext []byte) ([]byte, error) {
-	aead, err := newGCM(key)
+	return GCMSealInto(nil, key, sci, pn, aad, plaintext)
+}
+
+// GCMSealInto is GCMSeal appending into dst: batch protect paths hand
+// in a pooled wire buffer (typically the header already written) so the
+// sealed frame costs no allocation once the buffer has grown to size.
+func GCMSealInto(dst, key []byte, sci uint64, pn uint32, aad, plaintext []byte) ([]byte, error) {
+	aead, err := aeadFor(key)
 	if err != nil {
 		return nil, err
 	}
-	nonce := gcmNonce(sci, pn)
-	return aead.Seal(nil, nonce[:], plaintext, aad), nil
+	nonce := noncePool.Get().(*[12]byte)
+	fillNonce(nonce, sci, pn)
+	out := aead.Seal(dst, nonce[:], plaintext, aad)
+	noncePool.Put(nonce)
+	return out, nil
 }
 
 // GCMOpen reverses GCMSeal, returning the plaintext or an error if
 // authentication fails.
 func GCMOpen(key []byte, sci uint64, pn uint32, aad, sealed []byte) ([]byte, error) {
-	aead, err := newGCM(key)
+	pt, err := GCMOpenInto(nil, key, sci, pn, aad, sealed)
 	if err != nil {
 		return nil, err
 	}
-	nonce := gcmNonce(sci, pn)
-	pt, err := aead.Open(nil, nonce[:], sealed, aad)
+	return pt, nil
+}
+
+// GCMOpenInto is GCMOpen appending the plaintext into dst, for verify
+// paths that recycle their output buffers across a batch.
+func GCMOpenInto(dst, key []byte, sci uint64, pn uint32, aad, sealed []byte) ([]byte, error) {
+	aead, err := aeadFor(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := noncePool.Get().(*[12]byte)
+	fillNonce(nonce, sci, pn)
+	pt, err := aead.Open(dst, nonce[:], sealed, aad)
+	noncePool.Put(nonce)
 	if err != nil {
 		return nil, fmt.Errorf("vcrypto: gcm authentication failed: %w", err)
 	}
@@ -44,23 +67,74 @@ func GCMTag(key []byte, sci uint64, pn uint32, msg []byte) ([]byte, error) {
 	return GCMSeal(key, sci, pn, msg, nil)
 }
 
+// GCMTagInto is GCMTag appending the 16-byte tag into dst.
+func GCMTagInto(dst, key []byte, sci uint64, pn uint32, msg []byte) ([]byte, error) {
+	return GCMSealInto(dst, key, sci, pn, msg, nil)
+}
+
 // GCMVerifyTag checks a tag produced by GCMTag.
 func GCMVerifyTag(key []byte, sci uint64, pn uint32, msg, tag []byte) bool {
 	_, err := GCMOpen(key, sci, pn, msg, tag)
 	return err == nil
 }
 
-func newGCM(key []byte) (cipher.AEAD, error) {
+// aeadCacheCap bounds the per-key AEAD cache, with the same
+// flush-on-overflow policy as the CMAC state cache: drop everything,
+// let live keys re-derive. See cmacCacheCap for the rationale.
+const aeadCacheCap = 256
+
+// aeadCache memoizes the AES-GCM AEAD per key. Every protected frame
+// used to pay a full AES key expansion plus GCM table setup inside
+// newGCM — by far the dominant cost of the MACsec/IPsec/(D)TLS/CANsec
+// per-frame paths. A sealed AES-GCM AEAD is immutable after
+// construction, so one instance serves concurrent sessions; caching it
+// changes no output bytes.
+var (
+	aeadMu    sync.RWMutex
+	aeadCache = map[string]cipher.AEAD{}
+)
+
+func aeadFor(key []byte) (cipher.AEAD, error) {
+	aeadMu.RLock()
+	aead, ok := aeadCache[string(key)]
+	aeadMu.RUnlock()
+	if ok {
+		return aead, nil
+	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("vcrypto: gcm key: %w", err)
 	}
-	return cipher.NewGCM(block)
+	aead, err = cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	aeadMu.Lock()
+	if exist, ok := aeadCache[string(key)]; ok {
+		aead = exist
+	} else {
+		if len(aeadCache) >= aeadCacheCap {
+			aeadCache = make(map[string]cipher.AEAD, aeadCacheCap)
+		}
+		aeadCache[string(key)] = aead
+	}
+	aeadMu.Unlock()
+	return aead, nil
 }
 
-func gcmNonce(sci uint64, pn uint32) [12]byte {
-	var nonce [12]byte
+// aeadCacheLen exposes the live entry count (cache-bound tests).
+func aeadCacheLen() int {
+	aeadMu.RLock()
+	defer aeadMu.RUnlock()
+	return len(aeadCache)
+}
+
+// noncePool recycles nonce buffers: a stack [12]byte would escape to
+// the heap through the cipher.AEAD interface call, costing one
+// allocation per sealed or opened frame on the hot paths.
+var noncePool = sync.Pool{New: func() any { return new([12]byte) }}
+
+func fillNonce(nonce *[12]byte, sci uint64, pn uint32) {
 	binary.BigEndian.PutUint64(nonce[0:8], sci)
 	binary.BigEndian.PutUint32(nonce[8:12], pn)
-	return nonce
 }

@@ -7,16 +7,25 @@
 package autosec
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"autosec/internal/campaign"
+	"autosec/internal/config"
 	"autosec/internal/core"
+	"autosec/internal/fleet"
 	"autosec/internal/ivn"
 	"autosec/internal/secchan"
 	"autosec/internal/secchan/suites"
 	"autosec/internal/sensor"
+	"autosec/internal/server"
 	"autosec/internal/sim"
 	"autosec/internal/uwb"
 	"autosec/internal/vcrypto"
@@ -109,6 +118,140 @@ func BenchmarkCampaignAll(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- fleet coordinator (internal/fleet, docs/FLEET.md) ---
+
+// newStubFleetWorker serves the daemon wire protocol with a fixed
+// per-cell service latency and no real compute: a stand-in for a
+// remote avsecd on its own machine. On a many-core host the real
+// daemon overlaps within itself; the stub instead makes each worker a
+// serial perCell-latency device, so BenchmarkFleetCampaign isolates
+// exactly the coordinator's ability to overlap *workers* — the
+// scale-out dimension — independent of how many cores this build
+// machine happens to have.
+func newStubFleetWorker(b *testing.B, perCell time.Duration) *httptest.Server {
+	b.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status": "ok", "code_version": "bench", "experiments": 2, "scenarios": 0, "cache": "disabled", "jobs": 1, "gomaxprocs": 1}`)
+	})
+	mux.HandleFunc("POST /api/v1/campaign", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			IDs   []string `json:"ids"`
+			Seeds []int64  `json:"seeds"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		enc.Encode(map[string]any{"type": "campaign", "cells": len(req.IDs) * len(req.Seeds)})
+		for _, id := range req.IDs {
+			for _, seed := range req.Seeds {
+				time.Sleep(perCell)
+				enc.Encode(map[string]any{
+					"type": "cell", "id": id, "seed": seed,
+					"metrics": []sim.Metric{{Name: "bench_metric", Value: float64(seed)}},
+					"report":  fmt.Sprintf("report %s seed %d", id, seed),
+				})
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+		enc.Encode(map[string]any{"type": "done"})
+	})
+	ts := httptest.NewServer(mux)
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// BenchmarkFleetCampaign measures fleet scale-out: one 32-cell
+// campaign sharded across 1, 2, and 4 stub workers, each a serial
+// 2ms-per-cell device (see newStubFleetWorker for why the workers are
+// stubs). cells/sec should scale ~linearly with the worker count; the
+// gap from linear is pure coordinator overhead (handshake, chunk
+// dispatch, NDJSON merge, grid-order collection).
+func BenchmarkFleetCampaign(b *testing.B) {
+	const perCell = 2 * time.Millisecond
+	ids := []string{"bench-a", "bench-b"}
+	seeds := campaign.Seeds(1, 16)
+	cells := len(ids) * len(seeds)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			var urls []string
+			for i := 0; i < n; i++ {
+				urls = append(urls, newStubFleetWorker(b, perCell).URL)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(context.Background(), fleet.Config{
+					Workers:   urls,
+					IDs:       ids,
+					Seeds:     seeds,
+					ChunkSize: 2,
+					InFlight:  1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Result.Cells) != cells {
+					b.Fatalf("merged %d cells, want %d", len(rep.Result.Cells), cells)
+				}
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}
+
+// BenchmarkFleetCacheReplay measures the cross-worker cache-replay
+// path end to end with two REAL in-process daemons sharing one cache
+// directory: the first (untimed) run populates the cache, then every
+// timed fleet run is served entirely from shared cache entries. This
+// is the repeated-sweep economics of a fleet: ns/op here is the full
+// coordinator + HTTP + cache-replay cost of a 16-cell campaign whose
+// compute already happened somewhere else.
+func BenchmarkFleetCacheReplay(b *testing.B) {
+	cacheDir := filepath.Join(b.TempDir(), "cache")
+	var urls []string
+	for i := 0; i < 2; i++ {
+		cfg := config.Default()
+		cfg.ScenarioDir = filepath.Join(b.TempDir(), "no-scenarios")
+		cfg.Cache.Dir = cacheDir
+		s, err := server.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	cfg := fleet.Config{
+		Workers:   urls,
+		IDs:       []string{"fig3", "exp-ids"},
+		Seeds:     campaign.Seeds(42, 8),
+		ChunkSize: 4,
+	}
+	// Warm the shared cache outside the timer.
+	if _, err := fleet.Run(context.Background(), cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Result.Cells) != 16 {
+			b.Fatalf("merged %d cells, want 16", len(rep.Result.Cells))
+		}
+	}
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "cells/sec")
 }
 
 // --- substrate micro-benchmarks (hot paths) ---

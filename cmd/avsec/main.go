@@ -7,6 +7,7 @@
 //	avsec run <id> [flags]     # run one experiment (e.g. fig8, scn-gen-0042)
 //	avsec all [flags]          # run everything in paper order
 //	avsec campaign [flags]     # multi-seed statistical campaign
+//	avsec fleet [flags]        # shard one campaign across avsecd workers
 //	avsec gen [flags]          # grow/check the scenario corpus (scenarios/)
 //	avsec scenarios            # list the declarative scenario corpus
 //
@@ -73,6 +74,8 @@ func main() {
 		runExpmd()
 	case "campaign":
 		runCampaign(os.Args[2:])
+	case "fleet":
+		runFleet(os.Args[2:])
 	case "gen":
 		runGen(os.Args[2:])
 	case "scenarios":
@@ -543,6 +546,11 @@ func usage() {
                                                  multi-seed campaign with aggregate stats,
                                                  determinism self-check, and slowest-cell
                                                  timing diagnostics on stderr
+  avsec fleet -workers URL[,URL...] [-seeds N] [-seed B] [-chunk N] [-inflight K]
+              [-recheck F] [-deadline-ms N] [-max-attempts N] [-no-cache] [-json F] [ids...]
+                                                 shard one campaign across avsecd workers;
+                                                 stdout is byte-identical to avsec campaign
+                                                 for the same grid (docs/FLEET.md)
   avsec expmd                                    regenerate EXPERIMENTS.md on stdout from
                                                  the registry and a seed-42 typed run
   avsec gen [-out D] [-seed N] [-target N] [-max-iters N] [-check]

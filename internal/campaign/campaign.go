@@ -19,6 +19,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -77,6 +78,13 @@ type Spec struct {
 	// hint: results, streaming order, and rendered output are identical
 	// for any hint (or none).
 	CostHint func(id string) int
+	// Context, when non-nil, cancels the campaign: cells that have not
+	// started when it is done are skipped with the context's error
+	// instead of executed, so the pool drains promptly (bounded by the
+	// cells already in flight — a running cell is pure computation and
+	// finishes). Run still returns the full grid; skipped cells carry
+	// their error like any other failed cell.
+	Context context.Context
 	// Pool, when non-nil, is the global worker budget the campaign
 	// shares with intra-cell replicate fan-out: each cell holds one
 	// slot for its whole execution, so nested sim.Replicates calls
@@ -161,6 +169,36 @@ func Seeds(base int64, n int) []int64 {
 	return s
 }
 
+// SelectRechecks returns the deterministic recheck mask for a grid of n
+// cells in grid order: mask[i] is true when cell i is double-executed
+// by the determinism self-check. seed 0 uses the fixed default, so the
+// same (grid size, fraction) always selects the same cells — the
+// property that lets a distributed coordinator (internal/fleet)
+// reproduce exactly the cells a serial campaign.Run would recheck and
+// keep its rendered header byte-identical. When fraction is positive,
+// at least one cell is always selected.
+func SelectRechecks(n int, fraction float64, seed int64) []bool {
+	mask := make([]bool, n)
+	if fraction <= 0 || n == 0 {
+		return mask
+	}
+	if seed == 0 {
+		seed = defaultRecheckSeed
+	}
+	rng := sim.NewRNG(seed)
+	any := false
+	for i := range mask {
+		if rng.Bool(fraction) {
+			mask[i] = true
+			any = true
+		}
+	}
+	if !any {
+		mask[0] = true
+	}
+	return mask
+}
+
 // Run executes the campaign grid. It always returns the full Result
 // (every cell that ran, in grid order); the error joins every cell
 // failure and every determinism divergence, so a non-nil error means
@@ -188,22 +226,8 @@ func Run(spec Spec) (*Result, error) {
 			grid = append(grid, CellResult{ID: id, Seed: seed})
 		}
 	}
-	if spec.Recheck > 0 {
-		rs := spec.RecheckSeed
-		if rs == 0 {
-			rs = defaultRecheckSeed
-		}
-		rng := sim.NewRNG(rs)
-		any := false
-		for i := range grid {
-			if rng.Bool(spec.Recheck) {
-				grid[i].Rechecked = true
-				any = true
-			}
-		}
-		if !any {
-			grid[0].Rechecked = true
-		}
+	for i, re := range SelectRechecks(len(grid), spec.Recheck, spec.RecheckSeed) {
+		grid[i].Rechecked = re
 	}
 
 	jobs := spec.Jobs
@@ -229,6 +253,11 @@ func Run(spec Spec) (*Result, error) {
 		})
 	}
 
+	ctx := spec.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	start := time.Now()
 	tasks := make(chan int, len(grid))
 	for _, i := range order {
@@ -242,10 +271,22 @@ func Run(spec Spec) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
+				// A done context skips every cell that has not started:
+				// the queue drains without executing, so cancellation
+				// latency is bounded by the cells already in flight.
+				if err := ctx.Err(); err != nil {
+					grid[i].Err = fmt.Errorf("skipped: %w", err)
+					done <- i
+					continue
+				}
 				// Hold one budget slot per cell so replicate fan-out
 				// inside the cell borrows only idle capacity.
 				spec.Pool.Acquire()
-				runCell(&spec, &grid[i])
+				if err := ctx.Err(); err != nil {
+					grid[i].Err = fmt.Errorf("skipped: %w", err)
+				} else {
+					runCell(&spec, &grid[i])
+				}
 				spec.Pool.Release()
 				done <- i
 			}

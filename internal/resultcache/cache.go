@@ -36,8 +36,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +120,30 @@ func Key(parts ...string) string {
 // directory never accumulates every entry.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// EntryPath returns the file that holds (or would hold) key's entry.
+// Tooling and test hook: the fleet fault-injection tests corrupt an
+// entry in place through it to prove that on-disk corruption degrades
+// to recomputation, never to wrong bytes.
+func (c *Cache) EntryPath(key string) string { return c.path(key) }
+
+// Entries lists the key of every entry currently on disk, in
+// unspecified order. Tooling and test hook; the store may change
+// concurrently, so the listing is only a snapshot.
+func (c *Cache) Entries() ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(c.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		keys = append(keys, strings.TrimSuffix(d.Name(), ".json"))
+		return nil
+	})
+	return keys, err
 }
 
 // Get returns the entry stored under key, or ok=false on a miss. A

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -51,6 +52,12 @@ type CampaignRequest struct {
 	// Like the CLI's -timings flag it is opt-in because it breaks the
 	// byte-identity of otherwise identical campaigns.
 	Timings bool `json:"timings"`
+	// DeadlineMS bounds this campaign's wall time in milliseconds; 0
+	// means none. When the deadline passes (or the client disconnects),
+	// cells that have not started are skipped and the stream ends with
+	// an error event — the per-chunk timeout a fleet coordinator
+	// (internal/fleet) uses to re-dispatch hung work elsewhere.
+	DeadlineMS int `json:"deadline_ms"`
 	// Format selects the response body: "ndjson" (default) streams
 	// one event per line; "text" returns exactly the bytes `avsec
 	// campaign` prints to stdout for the same spec.
@@ -145,6 +152,10 @@ func (s *Server) planCampaign(req CampaignRequest) (*campaignPlan, error) {
 	}
 	if p.recheck < 0 || p.recheck > 1 {
 		return nil, fmt.Errorf("recheck fraction %v outside [0, 1]", p.recheck)
+	}
+
+	if req.DeadlineMS < 0 {
+		return nil, fmt.Errorf("deadline_ms must be >= 0, got %d", req.DeadlineMS)
 	}
 
 	p.cache = s.cache
@@ -267,6 +278,19 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Request-scoped cancellation: a client disconnect cancels
+	// r.Context(), and an optional deadline_ms bounds the campaign's
+	// wall time. Either way the per-request pool stops starting new
+	// cells immediately and the handler returns as soon as in-flight
+	// cells finish — no goroutine outlives its request
+	// (TestCampaignClientDisconnectNoLeak).
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
 	pool := sim.NewWorkerPool(plan.jobs)
 	var origins sync.Map
 	byID := make(map[string]core.Experiment, len(plan.ids))
@@ -278,6 +302,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		IDs:      plan.ids,
 		Seeds:    plan.seeds,
 		Jobs:     plan.jobs,
+		Context:  ctx,
 		Pool:     pool,
 		Recheck:  plan.recheck,
 		RunTyped: plan.typedRun(s, pool, &origins),
@@ -287,6 +312,9 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if plan.req.Format == "text" {
 		res, runErr := campaign.Run(spec)
 		if runErr != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				runErr = fmt.Errorf("canceled: %w", ctxErr)
+			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			w.WriteHeader(http.StatusInternalServerError)
 			if res != nil {
@@ -343,7 +371,13 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		emit(evSummary{Type: "summary", Text: res.RenderSummary()})
 	}
 	if runErr != nil {
-		emit(evError{Type: "error", Error: runErr.Error()})
+		// A canceled campaign fails one joined error per skipped cell;
+		// report the cause once instead of a page of "skipped" lines.
+		msg := runErr.Error()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			msg = fmt.Sprintf("campaign canceled: %v", ctxErr)
+		}
+		emit(evError{Type: "error", Error: msg})
 		return
 	}
 	done := evDone{Type: "done", Cells: len(res.Cells),

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the process goroutine count falls back to
+// at most want, dumping all stacks on timeout. The slack the callers
+// pass absorbs runtime bookkeeping goroutines; anything persistent
+// above that is a leaked campaign worker.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, want <= %d\n%s", runtime.NumGoroutine(), want, buf[:n])
+}
+
+// TestCampaignDeadlineCancels pins the deadline_ms field: a campaign
+// whose deadline passes stops starting cells, streams a terminal error
+// event naming the cancellation cause (not one line per skipped cell),
+// and leaves no worker goroutines behind.
+func TestCampaignDeadlineCancels(t *testing.T) {
+	ts := newTestServer(t, testConfig(t))
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	// 400 cheap cells with a 1-cell-scale deadline: most must be skipped.
+	start := time.Now()
+	resp, err := client.Post(ts.URL+"/api/v1/campaign", "application/json",
+		strings.NewReader(`{"ids": ["fig3", "exp-ids"], "seed_count": 200, "jobs": 2, "recheck": 0, "deadline_ms": 60}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last struct {
+		Type  string `json:"type"`
+		Error string `json:"error"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "error" {
+		t.Fatalf("terminal event type %q, want error", last.Type)
+	}
+	if !strings.Contains(last.Error, "deadline") {
+		t.Errorf("terminal error %q does not name the deadline", last.Error)
+	}
+	if strings.Count(last.Error, "skipped") > 1 {
+		t.Errorf("terminal error enumerates skipped cells instead of the cause: %q", last.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("deadline_ms=60 campaign ran %v", elapsed)
+	}
+	client.CloseIdleConnections()
+	waitGoroutines(t, baseline+4)
+}
+
+// TestCampaignClientDisconnectNoLeak pins request-scoped cancellation:
+// when the client goes away mid-stream, the per-request worker pool
+// stops promptly and every goroutine the request spawned exits.
+func TestCampaignClientDisconnectNoLeak(t *testing.T) {
+	ts := newTestServer(t, testConfig(t))
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/api/v1/campaign",
+		strings.NewReader(`{"ids": ["fig3", "exp-ids"], "seed_count": 200, "jobs": 2, "recheck": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read just the campaign header, then vanish mid-stream.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	client.CloseIdleConnections()
+	waitGoroutines(t, baseline+4)
+}

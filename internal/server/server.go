@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 
@@ -132,9 +133,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleHealth reports liveness plus the identity facts a fleet
-// operator needs to reason about cache reuse: the code version that
-// keys the cache and the namespace sizes.
+// handleHealth reports liveness plus the identity and capacity facts a
+// fleet coordinator needs: the code version that keys the cache (two
+// workers may share cached results exactly when it matches), the
+// namespace sizes, and the worker's compute capacity — the resolved
+// default campaign pool size (`jobs`, never 0) and `gomaxprocs` — so
+// chunk assignment can be weighted toward bigger workers
+// (internal/fleet, docs/FLEET.md).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	doc := struct {
 		Status      string `json:"status"`
@@ -142,12 +147,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Experiments int    `json:"experiments"`
 		Scenarios   int    `json:"scenarios"`
 		Cache       string `json:"cache"`
+		Jobs        int    `json:"jobs"`
+		GOMAXPROCS  int    `json:"gomaxprocs"`
 	}{
 		Status:      "ok",
 		CodeVersion: resultcache.CodeVersion(),
 		Experiments: len(s.registry),
 		Scenarios:   len(s.scnList),
 		Cache:       "disabled",
+		Jobs:        s.cfg.Jobs,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	if doc.Jobs == 0 {
+		doc.Jobs = doc.GOMAXPROCS
 	}
 	if s.cache != nil {
 		doc.Cache = s.cache.Dir()

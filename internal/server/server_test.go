@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -95,6 +96,8 @@ func TestHealthAndListings(t *testing.T) {
 		CodeVersion string `json:"code_version"`
 		Experiments int    `json:"experiments"`
 		Scenarios   int    `json:"scenarios"`
+		Jobs        int    `json:"jobs"`
+		GOMAXPROCS  int    `json:"gomaxprocs"`
 	}
 	getJSON(t, ts.URL+"/api/v1/health", &health)
 	if health.Status != "ok" || health.Experiments != len(core.Experiments()) || health.Scenarios != 2 {
@@ -102,6 +105,14 @@ func TestHealthAndListings(t *testing.T) {
 	}
 	if len(health.CodeVersion) != 64 {
 		t.Errorf("code_version = %q, want a sha256 digest", health.CodeVersion)
+	}
+	// Capacity advertisement: jobs is the resolved default pool size
+	// (config jobs 0 resolves to GOMAXPROCS, never reported as 0).
+	if health.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", health.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if health.Jobs != runtime.GOMAXPROCS(0) {
+		t.Errorf("jobs = %d, want resolved default %d", health.Jobs, runtime.GOMAXPROCS(0))
 	}
 
 	var exps []struct{ ID, Source, Title string }
@@ -132,6 +143,7 @@ func TestCampaignRequestValidation(t *testing.T) {
 		{"negative jobs", `{"jobs": -1}`, "jobs"},
 		{"bad recheck", `{"recheck": 1.5}`, "recheck"},
 		{"bad format", `{"format": "xml"}`, "format"},
+		{"negative deadline", `{"deadline_ms": -5}`, "deadline_ms"},
 		{"trailing junk", `{} {}`, "trailing"},
 	}
 	for _, tc := range cases {

@@ -45,6 +45,11 @@ import (
 	"autosec/internal/scenario"
 	"autosec/internal/sim"
 	"autosec/internal/sos"
+
+	// The demo drop-in extensions (noop-mac suite, jam attack) register
+	// at init, proving the one-file extension property end to end; their
+	// scenarios live under internal/ext/demo/scenario.
+	_ "autosec/internal/ext/demo"
 )
 
 func main() {
@@ -80,6 +85,8 @@ func main() {
 		runGen(os.Args[2:])
 	case "scenarios":
 		runScenarios(os.Args[2:])
+	case "ext":
+		runExt(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -559,6 +566,10 @@ func usage() {
                                                  fail on any byte difference)
   avsec scenarios [-scenarios D]                 list the scenario corpus (run with
                                                  'avsec run scn-<name>')
+  avsec ext [-kind K] [-json]                    list registered extensions by kind —
+                                                 suites, attacks, defences, detectors,
+                                                 coverage dims, experiments — with the
+                                                 extension-set fingerprint on stderr
   avsec dot                                      emit the Fig. 9 model as Graphviz
 
 run and campaign also resolve scn-* scenario ids from -scenarios

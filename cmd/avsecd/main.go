@@ -39,6 +39,12 @@ import (
 
 	"autosec/internal/config"
 	"autosec/internal/server"
+
+	// The demo drop-in extensions register at init so the daemon can
+	// compile and serve the scenarios under internal/ext/demo/scenario;
+	// avsec carries the same import, keeping the fleet fingerprint equal
+	// across the CLI and daemon builds.
+	_ "autosec/internal/ext/demo"
 )
 
 func main() {

@@ -1,0 +1,27 @@
+package ext
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"fig8", "fig8", 0},
+		{"fig8", "", 4},
+		{"fig8", "fig9", 1}, // substitution
+		{"fig", "fig8", 1},  // insertion
+		{"ifg8", "fig8", 1}, // adjacent transposition
+		{"exp-ptp", "exp-ota", 2},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := editDistance(c.b, c.a); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"regexp"
 	"strings"
 
+	"autosec/internal/ext"
 	"autosec/internal/telemetry"
 )
 
@@ -242,14 +243,47 @@ func Defences() []Defence {
 	return out
 }
 
-// DefenceNames lists every defence's canonical name in Defences order —
-// the vocabulary the scenario DSL's [killchain] section accepts.
-func DefenceNames() []string {
-	out := make([]string, 0, defenceCount)
-	for _, d := range Defences() {
-		out = append(out, d.String())
+// DefenceSpec is the registered form of one hardening measure (ext
+// kind "defence"): a mutator that deploys the defence onto a telemetry
+// cloud config. Drop-in defences register a spec from their own file
+// and become deployable from scenario.ini [killchain] sections like
+// built-ins; they never enter the Fig. 8 sweep, which iterates the
+// core-capped enum.
+type DefenceSpec struct {
+	// Harden deploys the defence on the config.
+	Harden func(*telemetry.Config)
+}
+
+// Extensions is the defence extension registry. The built-in Fig. 8
+// defences register at init from the Defence enum, so the registry and
+// the enum cannot drift apart.
+var Extensions = ext.NewRegistry[DefenceSpec]("defence")
+
+func init() {
+	descs := map[Defence]string{
+		DefendEnumeration: "rate-limit and 404-harden path probing, breaking gobuster recon",
+		DisableHeapDump:   "remove the actuator heap-dump endpoint from production",
+		ScrubSecrets:      "keep long-lived credentials out of process memory",
+		LeastPrivilege:    "scope IAM keys so none can mint a fleet-wide token",
+		MinimizeData:      "store coarse locations only, shrinking a breach's blast radius",
 	}
-	return out
+	for i, d := range Defences() {
+		d := d
+		Extensions.Register(ext.Meta{
+			Name:        d.String(),
+			Description: descs[d],
+			Paper:       fmt.Sprintf("Fig. 8 kill chain, defence breaking stage %d", i+1),
+			Caps:        []string{ext.CapCore},
+			Rank:        i + 1,
+		}, DefenceSpec{Harden: func(cfg *telemetry.Config) { applyOne(cfg, d) }})
+	}
+}
+
+// DefenceNames lists every built-in defence's canonical name in
+// Defences order — the core-capped slice of the extension registry,
+// and the vocabulary the scenario corpus generator mutates over.
+func DefenceNames() []string {
+	return Extensions.NamesWith(ext.CapCore)
 }
 
 // ParseDefence resolves a canonical defence name (the String form, e.g.
@@ -264,22 +298,41 @@ func ParseDefence(name string) (Defence, error) {
 	return 0, fmt.Errorf("killchain: unknown defence %q (known: %s)", name, strings.Join(DefenceNames(), ", "))
 }
 
+// ConfigFor returns the worst-case config with the named defences
+// deployed, resolving every name — built-in or drop-in — through the
+// extension registry. This is the scenario DSL's deployment path.
+func ConfigFor(names []string) (telemetry.Config, error) {
+	cfg := telemetry.WorstCase()
+	for _, n := range names {
+		spec, err := Extensions.Lookup(n)
+		if err != nil {
+			return cfg, fmt.Errorf("killchain: %w", err)
+		}
+		spec.Harden(&cfg)
+	}
+	return cfg, nil
+}
+
 // Apply returns the worst-case config with the given defences applied.
 func Apply(defs ...Defence) telemetry.Config {
 	cfg := telemetry.WorstCase()
 	for _, d := range defs {
-		switch d {
-		case DefendEnumeration:
-			cfg.EnumerationDefended = true
-		case DisableHeapDump:
-			cfg.HeapDumpExposed = false
-		case ScrubSecrets:
-			cfg.SecretsInMemory = false
-		case LeastPrivilege:
-			cfg.MasterKeyOverPrivileged = false
-		case MinimizeData:
-			cfg.CoarseLocation = true
-		}
+		applyOne(&cfg, d)
 	}
 	return cfg
+}
+
+func applyOne(cfg *telemetry.Config, d Defence) {
+	switch d {
+	case DefendEnumeration:
+		cfg.EnumerationDefended = true
+	case DisableHeapDump:
+		cfg.HeapDumpExposed = false
+	case ScrubSecrets:
+		cfg.SecretsInMemory = false
+	case LeastPrivilege:
+		cfg.MasterKeyOverPrivileged = false
+	case MinimizeData:
+		cfg.CoarseLocation = true
+	}
 }

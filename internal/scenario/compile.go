@@ -39,9 +39,14 @@ func Compile(sp *Spec) (core.Experiment, error) {
 	if title == "" {
 		title = AutoTitle(sp)
 	}
+	// Validate resolved the type already; Lookup cannot fail here.
+	atk, err := Attacks.Lookup(sp.Attacker.Type)
+	if err != nil {
+		return core.Experiment{}, fmt.Errorf("scenario: [attacker] %w", err)
+	}
 	run := func(rc *core.RunContext) (string, error) {
-		if sp.Attacker.Type == AttackKillChain {
-			return runKillChain(sp, rc)
+		if atk.Run != nil {
+			return atk.Run(sp, rc)
 		}
 		return runTraffic(sp, rc)
 	}
@@ -141,7 +146,7 @@ func runTraffic(sp *Spec, rc *core.RunContext) (string, error) {
 
 	var b strings.Builder
 	b.WriteString(tb.String())
-	entry, _ := suites.Registry().Find(sp.Protocol.Suite)
+	entry, _, _ := suites.Suites.Get(sp.Protocol.Suite)
 	auth, conf, replay := entry.Props.YesNo()
 	fmt.Fprintf(&b, "\nworld: %d zones × %d endpoints, %d frames of %d B every %d µs; attacker in zone %d\n",
 		sp.World.Zones, sp.World.EndpointsPerZone, sp.World.Frames, sp.World.FrameBytes,
@@ -151,12 +156,21 @@ func runTraffic(sp *Spec, rc *core.RunContext) (string, error) {
 	return b.String(), nil
 }
 
+// trafficDetectors names the registered detectors the traffic loop
+// taps, in observation order: the two in-vehicle detectors of the
+// paper's §VIII. The entropy and busload detectors stay out of the
+// scenario tap chain (the exp-ids engine exercises them) so the
+// byte-pinned scenario goldens do not depend on their alert streams.
+var trafficDetectors = []string{"interval", "sender-id"}
+
 // simulateTraffic runs one replicate on its own RNG stream. It must
-// draw randomness only from r and touch no shared state.
+// draw randomness only from r and touch no shared state. The attack
+// behaviour is resolved from the attack registry; the detector chain
+// from the detector registry.
 func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 	res := trial{firstDetect: -1}
 
-	entry, err := suites.Registry().Find(sp.Protocol.Suite)
+	entry, err := suites.Lookup(sp.Protocol.Suite)
 	if err != nil {
 		return res, err
 	}
@@ -171,24 +185,49 @@ func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 	attackerNode := fmt.Sprintf("z%d-attacker", sp.Attacker.Zone)
 	period := sim.Time(sp.World.PeriodUS) * sim.Microsecond
 
-	// Detectors: the interval detector learns every background stream's
-	// period; the sender identifier enrolls only the victim stream and
-	// knows every physical node (including the attacker's) for
-	// attribution.
-	var interval *ids.IntervalDetector
-	var sender *ids.SenderIdentifier
+	// Detector chain: constructors claiming CapRNG get a fork of the
+	// replicate RNG (exactly one fork per claiming detector, so the
+	// draw stream does not depend on the RNG-free detectors in the
+	// chain); detectors exposing the Enroller interface get the victim
+	// stream enrolled and every physical node profiled for attribution.
+	var detectors []ids.Detector
 	if sp.IDS.Enabled {
-		interval = ids.NewIntervalDetectorWith(sp.IDS.Tolerance, 8)
-		sender = ids.NewSenderIdentifier(r.Fork())
-		sender.MatchRadius = sp.IDS.MatchRadius
-		sender.NoiseStd = sp.IDS.NoiseStd
-		sender.Enroll(victimID, victimNode)
-		for z := 0; z < sp.World.Zones; z++ {
-			for e := 0; e < sp.World.EndpointsPerZone; e++ {
-				sender.KnowNode(fmt.Sprintf("z%d-e%d", z, e))
-			}
+		params := ids.DetectorParams{
+			Tolerance:   sp.IDS.Tolerance,
+			MinSamples:  8,
+			MatchRadius: sp.IDS.MatchRadius,
+			NoiseStd:    sp.IDS.NoiseStd,
 		}
-		sender.KnowNode(attackerNode)
+		for _, name := range trafficDetectors {
+			ctor, meta, ok := ids.Detectors.Get(name)
+			if !ok {
+				return res, fmt.Errorf("scenario: detector %q not registered", name)
+			}
+			p := params
+			if meta.Has(ids.CapRNG) {
+				p.RNG = r.Fork()
+			}
+			d := ctor(p)
+			if en, isEnroller := d.(ids.Enroller); isEnroller {
+				en.Enroll(victimID, victimNode)
+				for z := 0; z < sp.World.Zones; z++ {
+					for e := 0; e < sp.World.EndpointsPerZone; e++ {
+						en.KnowNode(fmt.Sprintf("z%d-e%d", z, e))
+					}
+				}
+				en.KnowNode(attackerNode)
+			}
+			detectors = append(detectors, d)
+		}
+	}
+
+	atk, err := Attacks.Lookup(sp.Attacker.Type)
+	if err != nil {
+		return res, err
+	}
+	var behaviour AttackBehaviour
+	if atk.New != nil {
+		behaviour = atk.New(sp)
 	}
 
 	attackStart := sp.Attacker.Start
@@ -196,20 +235,19 @@ func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 		attackStart = warmupSteps
 	}
 	observe := func(step int, at sim.Time, f *canbus.Frame) {
-		if interval == nil {
+		if len(detectors) == 0 {
 			return
 		}
 		alerts := 0
-		if a := interval.Observe(at, f); a != nil {
-			alerts++
-		}
-		if a := sender.Observe(at, f); a != nil {
-			alerts++
+		for _, d := range detectors {
+			if a := d.Observe(at, f); a != nil {
+				alerts++
+			}
 		}
 		if alerts == 0 {
 			return
 		}
-		if sp.Attacker.Type != AttackNone && step >= attackStart {
+		if behaviour != nil && step >= attackStart {
 			res.alerts += alerts
 			if res.firstDetect < 0 {
 				res.firstDetect = step - attackStart
@@ -222,14 +260,27 @@ func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 		return &canbus.Frame{ID: id, Format: canbus.FD, SourceID: node}
 	}
 
-	history := make([][]byte, 0, sp.World.Frames) // victim wire history
-	delayed := make(map[int][][]byte)             // release step → withheld wires
+	delayed := make(map[int][][]byte) // release step → withheld wires
 	payload := make([]byte, sp.World.FrameBytes)
+	st := &TrafficStep{
+		Spec:         sp,
+		RNG:          r,
+		Period:       period,
+		res:          &res,
+		suite:        suite,
+		history:      make([][]byte, 0, sp.World.Frames), // victim wire history
+		delayed:      delayed,
+		observe:      observe,
+		victimID:     victimID,
+		attackerNode: attackerNode,
+	}
 
 	for step := 0; step < sp.World.Frames; step++ {
 		now := sim.Time(step) * period
-		if interval != nil && step == warmupSteps {
-			interval.EndTraining()
+		if step == warmupSteps {
+			for _, d := range detectors {
+				d.EndTraining()
+			}
 		}
 
 		// Background endpoints keep their periodic streams alive so the
@@ -244,7 +295,7 @@ func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 			}
 		}
 
-		attacking := sp.Attacker.Type != AttackNone &&
+		attacking := behaviour != nil &&
 			step >= attackStart && (step-attackStart)%sp.Attacker.Every == 0
 
 		// The victim's protected frame for this period.
@@ -254,36 +305,13 @@ func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 			return res, fmt.Errorf("%s Protect: %w", sp.Protocol.Suite, err)
 		}
 		wireCopy := append([]byte(nil), wire...)
-		history = append(history, wireCopy)
+		st.history = append(st.history, wireCopy)
 		res.sent++
+		st.Step, st.Now, st.Wire = step, now, wireCopy
 
-		switch {
-		case attacking && sp.Attacker.Type == AttackDelay:
-			// Jam-and-release: the receiver sees nothing now; the frame
-			// re-appears Offset periods later, probing the replay window.
-			release := step + sp.Attacker.Offset
-			delayed[release] = append(delayed[release], wireCopy)
-		case attacking && sp.Attacker.Type == AttackForge:
-			// MITM tamper: flip a payload bit and guess the tag. With a
-			// truncated MAC (SECOC mac_bits) the guess lands with
-			// probability 2^-bits — the detection/acceptance boundary
-			// the generator searches.
-			tampered := append([]byte(nil), wireCopy...)
-			tampered[len(tampered)/2] ^= 0x04
-			tag := forgedTagBytes(sp)
-			if tag > len(tampered) {
-				tag = len(tampered)
-			}
-			r.Bytes(tampered[len(tampered)-tag:])
-			res.injected++
-			if _, err := suite.Verify(tampered); err == nil {
-				res.attackAccepted++
-				res.delivered++
-			} else {
-				res.verifyFailed++
-			}
-			observe(step, now, frameFrom(victimID, attackerNode))
-		default:
+		// The behaviour may own delivery (tamper, withhold); otherwise
+		// the frame verifies and delivers normally.
+		if !(attacking && behaviour.Deliver(st)) {
 			if _, err := suite.Verify(wire); err == nil {
 				res.delivered++
 			} else {
@@ -308,30 +336,7 @@ func simulateTraffic(sp *Spec, r *sim.RNG) (trial, error) {
 
 		// Injections on top of the victim's own traffic.
 		if attacking {
-			switch sp.Attacker.Type {
-			case AttackReplay:
-				if idx := step - sp.Attacker.Offset; idx >= 0 {
-					res.injected++
-					if _, err := suite.Verify(history[idx]); err == nil {
-						res.attackAccepted++
-					}
-					observe(step, now+period/2, frameFrom(victimID, attackerNode))
-				}
-			case AttackMasquerade:
-				fake := make([]byte, len(wireCopy))
-				r.Bytes(fake)
-				res.injected++
-				if _, err := suite.Verify(fake); err == nil {
-					res.attackAccepted++
-				}
-				observe(step, now+period/2, frameFrom(victimID, attackerNode))
-			case AttackFlood:
-				for j := 0; j < sp.Attacker.Rate; j++ {
-					res.injected++
-					at := now + sim.Time(j+1)*period/sim.Time(sp.Attacker.Rate+1)
-					observe(step, at, frameFrom(victimID, attackerNode))
-				}
-			}
+			behaviour.Inject(st)
 		}
 	}
 	return res, nil
@@ -355,21 +360,17 @@ func forgedTagBytes(sp *Spec) int {
 // telemetry-cloud chain against the configured defence subset, fleet
 // size scaled from the world topology.
 func runKillChain(sp *Spec, rc *core.RunContext) (string, error) {
-	defs := make([]killchain.Defence, len(sp.KillChain.Defences))
-	for i, name := range sp.KillChain.Defences {
-		d, err := killchain.ParseDefence(name)
-		if err != nil {
-			return "", err
-		}
-		defs[i] = d
+	defs := sp.KillChain.Defences
+	cfg, err := killchain.ConfigFor(defs)
+	if err != nil {
+		return "", err
 	}
-	cfg := killchain.Apply(defs...)
 	fleet := 20 * sp.World.Zones * sp.World.EndpointsPerZone
 	points := 8 + sp.World.FrameBytes
 
 	rng := rc.RNG()
 	reps := make([]*killchain.Report, sp.Run.Replicates)
-	err := rc.Replicates(sp.Run.Replicates, rng, func(i int, r *sim.RNG) error {
+	err = rc.Replicates(sp.Run.Replicates, rng, func(i int, r *sim.RNG) error {
 		cloud := telemetry.NewCloud(cfg, fleet, points, r)
 		reps[i] = killchain.Run(cloud)
 		return nil

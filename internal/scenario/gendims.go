@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+
+	"autosec/internal/ext"
+)
+
+// GenDim is one coverage dimension of the corpus generator (ext kind
+// "gendim"): it derives zero or more coverage keys from an evaluated
+// candidate's spec and published metrics. Coverage is set-semantic —
+// the generator dedups keys and sorts the final account — so a
+// dimension only has to produce a stable key set, not a stable order.
+//
+// Registering a new dimension changes which candidates count as fresh
+// coverage and therefore regenerates the corpus; unlike the other
+// kinds there is no cap that shields the goldens, which is why the
+// built-ins below are the only dimensions a released binary registers
+// (and why `avsec gen -check` exists).
+type GenDim struct {
+	// Keys derives the dimension's coverage keys; m maps metric name to
+	// value.
+	Keys func(sp *Spec, m map[string]float64) []string
+}
+
+// GenDims is the coverage-dimension extension registry.
+var GenDims = ext.NewRegistry[GenDim]("gendim")
+
+func init() {
+	reg := func(rank int, name, desc string, keys func(*Spec, map[string]float64) []string) {
+		GenDims.Register(ext.Meta{Name: name, Description: desc,
+			Paper: "coverage-guided corpus search over the §III/§IV scenario space",
+			Caps:  []string{ext.CapCore}, Rank: rank}, GenDim{Keys: keys})
+	}
+	reg(1, "attack-type", "which attacker type the candidate stages",
+		func(sp *Spec, _ map[string]float64) []string {
+			return []string{"attack:" + sp.Attacker.Type}
+		})
+	reg(2, "killchain-depth", "kill-chain stage reached, breach outcome, and defence count",
+		func(sp *Spec, m map[string]float64) []string {
+			if sp.Attacker.Type != AttackKillChain {
+				return nil
+			}
+			return []string{
+				fmt.Sprintf("kc:stage:%d", int(m["stage-reached/value"])),
+				"kc:breached:" + bucket(m["breach-rate/value"]),
+				fmt.Sprintf("kc:ndef:%d", len(sp.KillChain.Defences)),
+			}
+		})
+	reg(3, "suite-pairing", "which suite ran and which suite×attack pairing it exercised",
+		func(sp *Spec, _ map[string]float64) []string {
+			if sp.Attacker.Type == AttackKillChain {
+				return nil
+			}
+			s := sp.Protocol.Suite
+			return []string{"suite:" + s, "pair:" + s + "+" + sp.Attacker.Type}
+		})
+	reg(4, "acceptance-boundaries", "attack-accept, late-accept, and detection rate buckets",
+		func(sp *Spec, m map[string]float64) []string {
+			if sp.Attacker.Type == AttackKillChain {
+				return nil
+			}
+			t := sp.Attacker.Type
+			return []string{
+				"accept:" + t + ":" + bucket(m["attack-accept-rate/value"]),
+				"late:" + sp.Protocol.Suite + ":" + bucket(m["late-accept-rate/value"]),
+				"detect:" + t + ":" + bucket(m["detection-rate/value"]),
+			}
+		})
+	reg(5, "false-positives", "whether the IDS raised alerts before the attack started",
+		func(sp *Spec, m map[string]float64) []string {
+			if sp.Attacker.Type == AttackKillChain {
+				return nil
+			}
+			if m["false-alerts-per-replicate/value"] > 0 {
+				return []string{"fp:some"}
+			}
+			return []string{"fp:none"}
+		})
+}

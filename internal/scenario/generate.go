@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"autosec/internal/core"
+	"autosec/internal/ext"
 	"autosec/internal/killchain"
 	"autosec/internal/secchan/suites"
 	"autosec/internal/sim"
@@ -61,38 +62,21 @@ func bucket(v float64) string {
 	}
 }
 
-// coverageKeys derives the coverage signals of one evaluated candidate:
-// which attack/suite pairing ran, which kill-chain stage the attacker
-// reached, which side of the detection boundary the IDS landed on, and
-// whether the replay window let late or forged traffic through.
+// coverageKeys derives the coverage signals of one evaluated candidate
+// by folding every registered coverage dimension over its spec and
+// metrics: which attack/suite pairing ran, which kill-chain stage the
+// attacker reached, which side of the detection boundary the IDS
+// landed on, whether the replay window let late traffic through.
+// Coverage is set-semantic, so dimension iteration order is free.
 func coverageKeys(sp *Spec, metrics []sim.Metric) []string {
 	m := make(map[string]float64, len(metrics))
 	for _, mt := range metrics {
 		m[mt.Name] = mt.Value
 	}
-	t := sp.Attacker.Type
-	keys := []string{"attack:" + t}
-	if t == AttackKillChain {
-		keys = append(keys,
-			fmt.Sprintf("kc:stage:%d", int(m["stage-reached/value"])),
-			"kc:breached:"+bucket(m["breach-rate/value"]),
-			fmt.Sprintf("kc:ndef:%d", len(sp.KillChain.Defences)),
-		)
-		return keys
-	}
-	s := sp.Protocol.Suite
-	keys = append(keys,
-		"suite:"+s,
-		"pair:"+s+"+"+t,
-		"accept:"+t+":"+bucket(m["attack-accept-rate/value"]),
-		"late:"+s+":"+bucket(m["late-accept-rate/value"]),
-		"detect:"+t+":"+bucket(m["detection-rate/value"]),
-	)
-	if m["false-alerts-per-replicate/value"] > 0 {
-		keys = append(keys, "fp:some")
-	} else {
-		keys = append(keys, "fp:none")
-	}
+	var keys []string
+	GenDims.Each(func(_ ext.Meta, d GenDim) {
+		keys = append(keys, d.Keys(sp, m)...)
+	})
 	return keys
 }
 

@@ -39,12 +39,6 @@ const (
 	AttackKillChain  = "killchain"  // Fig. 8 cloud kill chain vs a defence subset
 )
 
-// AttackTypes lists every attacker type in canonical order.
-func AttackTypes() []string {
-	return []string{AttackNone, AttackReplay, AttackForge, AttackMasquerade,
-		AttackFlood, AttackDelay, AttackKillChain}
-}
-
 // Spec is one declarative scenario. The zero value is not valid;
 // construct with DefaultSpec and override fields (or parse a
 // scenario.ini).
@@ -193,15 +187,8 @@ func (s *Spec) Validate() error {
 		return err
 	}
 
-	known := false
-	for _, t := range AttackTypes() {
-		if s.Attacker.Type == t {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return fmt.Errorf("scenario: [attacker] type %q not one of %v", s.Attacker.Type, AttackTypes())
+	if _, err := Attacks.Lookup(s.Attacker.Type); err != nil {
+		return fmt.Errorf("scenario: [attacker] %w", err)
 	}
 	if err := intIn("attacker", "zone", s.Attacker.Zone, 0, s.World.Zones-1); err != nil {
 		return err
@@ -219,8 +206,8 @@ func (s *Spec) Validate() error {
 		return err
 	}
 
-	if _, err := suites.Registry().Find(s.Protocol.Suite); err != nil {
-		return fmt.Errorf("scenario: [protocol] suite %q not in registry %v", s.Protocol.Suite, suites.Registry().Names())
+	if _, err := suites.Lookup(s.Protocol.Suite); err != nil {
+		return fmt.Errorf("scenario: [protocol] %w", err)
 	}
 	if mb := s.Protocol.MACBits; mb != 0 && (mb < 8 || mb > 128 || mb%8 != 0) {
 		return fmt.Errorf("scenario: [protocol] mac_bits %d must be 0 or a multiple of 8 in [8, 128]", mb)
@@ -239,7 +226,7 @@ func (s *Spec) Validate() error {
 	if s.Attacker.Type == AttackKillChain {
 		seen := make(map[string]bool)
 		for _, name := range s.KillChain.Defences {
-			if _, err := killchain.ParseDefence(name); err != nil {
+			if _, err := killchain.Extensions.Lookup(name); err != nil {
 				return fmt.Errorf("scenario: [killchain] %w", err)
 			}
 			if seen[name] {

@@ -18,6 +18,7 @@ import (
 	"autosec/internal/canbus"
 	"autosec/internal/cansec"
 	"autosec/internal/ethernet"
+	"autosec/internal/ext"
 	"autosec/internal/ipsec"
 	"autosec/internal/macsec"
 	"autosec/internal/secchan"
@@ -25,26 +26,67 @@ import (
 	"autosec/internal/tlslite"
 )
 
+// Capability flags the suite kind uses on top of ext.CapCore.
+const (
+	// CapTable1 marks a paper Table I row; Registry() is exactly the
+	// table1-capped entries in rank order.
+	CapTable1 = "table1"
+	// CapBatch marks a suite whose constructor yields a
+	// secchan.BatchSuite, so the campaign fast path can amortise MAC
+	// setup across a whole frame batch.
+	CapBatch = "batch"
+)
+
+// Suites is the extension registry of channel suites (ext kind
+// "suite"). Built-ins register below at init; drop-in suites register
+// themselves from their own file (see internal/ext/demo) and become
+// addressable from scenario.ini, the CLI, and the daemon by name —
+// without entering Table I or the corpus generator's vocabulary.
+var Suites = ext.NewRegistry[secchan.Entry]("suite")
+
+func init() {
+	reg := func(rank int, e secchan.Entry, desc string, ctor func(secchan.Params) (secchan.Suite, error), caps ...string) {
+		e.New = ctor
+		Suites.Register(ext.Meta{Name: e.Name, Description: desc, Paper: e.Paper, Caps: caps, Rank: rank}, e)
+	}
+	reg(1, secocMeta, "AUTOSAR SecOC: truncated-MAC + freshness at the application layer",
+		newSECOC, ext.CapCore, CapTable1, CapBatch)
+	reg(2, tlsMeta, "(D)TLS-style transport records with AEAD and handshake key schedule",
+		newTLS, ext.CapCore, CapTable1, CapBatch)
+	reg(3, ipsecMeta, "IPsec ESP tunnel: encrypt-then-MAC with an anti-replay window",
+		newIPsec, ext.CapCore, CapTable1, CapBatch)
+	reg(4, macsecMeta, "IEEE 802.1AE MACsec SecY in confidential mode (SecTAG + ICV)",
+		newMACsec, ext.CapCore, CapTable1, CapBatch)
+	reg(5, cansecMeta, "CiA 613-2 CANsec zones on CAN XL with authenticated encryption",
+		newCANsec, ext.CapCore, CapTable1, CapBatch)
+	integ := macsecMeta
+	integ.Name = "MACsec-integ"
+	integ.Paper = "Table I row 4 variant; 802.1AE integrity-only mode (E=0)"
+	integ.Props.Conf = false
+	reg(6, integ, "802.1AE MACsec integrity-only variant (authenticated, plaintext payload)",
+		NewMACsecIntegrityOnly, ext.CapCore, CapBatch)
+}
+
 // Registry returns the Table I suites in paper row order: SECOC,
-// (D)TLS, IPsec ESP, MACsec, CANsec. Constructors that randomise a
+// (D)TLS, IPsec ESP, MACsec, CANsec — the table1-capped slice of the
+// extension registry, which keeps this canonical list stable no matter
+// what drop-in suites a binary links in. Constructors that randomise a
 // handshake consume Params.RNG in this order, so iterating the
 // registry preserves the deterministic draw stream of the experiments.
 func Registry() secchan.Registry {
-	return secchan.Registry{
-		with(secocMeta, newSECOC),
-		with(tlsMeta, newTLS),
-		with(ipsecMeta, newIPsec),
-		with(macsecMeta, newMACsec),
-		with(cansecMeta, newCANsec),
+	names := Suites.NamesWith(CapTable1)
+	out := make(secchan.Registry, 0, len(names))
+	for _, n := range names {
+		e, _, _ := Suites.Get(n)
+		out = append(out, e)
 	}
+	return out
 }
 
-// with attaches a constructor to suite metadata. The metadata vars and
-// constructors cannot reference each other directly (initialization
-// cycle), so the registry wires them here.
-func with(e secchan.Entry, ctor func(secchan.Params) (secchan.Suite, error)) secchan.Entry {
-	e.New = ctor
-	return e
+// Lookup resolves any registered suite — Table I row, built-in
+// variant, or drop-in — by name, with did-you-mean on a miss.
+func Lookup(name string) (secchan.Entry, error) {
+	return Suites.Lookup(name)
 }
 
 // base carries the Table I metadata and accounting shared by every

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"autosec/internal/ext"
+)
+
+// TestExtensionsEndpointMatchesCatalog pins the no-drift property the
+// extension registry was built for: GET /api/v1/extensions serves
+// ext.Catalog() verbatim — the same document `avsec ext -json` renders
+// — so any binary's CLI and daemon listings are identical sets by
+// construction, and the health document's extensions field is the
+// catalog's fingerprint.
+func TestExtensionsEndpointMatchesCatalog(t *testing.T) {
+	t.Parallel()
+	ts := newTestServer(t, testConfig(t))
+
+	var got ext.CatalogDoc
+	getJSON(t, ts.URL+"/api/v1/extensions", &got)
+
+	want := ext.Catalog()
+	if got.Fingerprint != want.Fingerprint {
+		t.Errorf("fingerprint = %q, want %q", got.Fingerprint, want.Fingerprint)
+	}
+	if len(got.Fingerprint) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex digest", got.Fingerprint)
+	}
+	if !reflect.DeepEqual(got.Extensions, want.Extensions) {
+		t.Errorf("served catalog diverges from ext.Catalog():\n got %d entries\nwant %d entries", len(got.Extensions), len(want.Extensions))
+	}
+
+	// Every extension kind of the refactor resolves through the one
+	// catalog the endpoint serves.
+	kinds := map[string]bool{}
+	for _, m := range got.Extensions {
+		kinds[m.Kind] = true
+	}
+	for _, k := range []string{"suite", "attack", "defence", "detector", "gendim", "experiment"} {
+		if !kinds[k] {
+			t.Errorf("catalog missing kind %q", k)
+		}
+	}
+
+	var health struct {
+		Extensions string `json:"extensions"`
+	}
+	getJSON(t, ts.URL+"/api/v1/health", &health)
+	if health.Extensions != want.Fingerprint {
+		t.Errorf("health extensions = %q, want catalog fingerprint %q", health.Extensions, want.Fingerprint)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"autosec/internal/config"
 	"autosec/internal/core"
+	"autosec/internal/ext"
 	"autosec/internal/resultcache"
 	"autosec/internal/scenario"
 )
@@ -106,6 +107,7 @@ func New(cfg config.Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/extensions", s.handleExtensions)
 	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /api/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /api/v1/cache", s.handleCacheStats)
@@ -144,6 +146,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	doc := struct {
 		Status      string `json:"status"`
 		CodeVersion string `json:"code_version"`
+		Extensions  string `json:"extensions"`
 		Experiments int    `json:"experiments"`
 		Scenarios   int    `json:"scenarios"`
 		Cache       string `json:"cache"`
@@ -152,6 +155,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}{
 		Status:      "ok",
 		CodeVersion: resultcache.CodeVersion(),
+		Extensions:  ext.Fingerprint(),
 		Experiments: len(s.registry),
 		Scenarios:   len(s.scnList),
 		Cache:       "disabled",
@@ -165,6 +169,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		doc.Cache = s.cache.Dir()
 	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleExtensions serves the extension catalog: every registered
+// extension of every kind in this binary, drop-ins included, plus the
+// set fingerprint the fleet handshake compares. The document is
+// ext.Catalog() verbatim — the same call `avsec ext -json` renders —
+// so the CLI and daemon listings cannot drift.
+func (s *Server) handleExtensions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ext.Catalog())
 }
 
 // handleExperiments lists the registry in paper order.
